@@ -1,0 +1,65 @@
+"""Figure 2(e)/(f) — lowest pre-perturbation inertia (PRE) per strategy and
+the corresponding post-perturbation inertia without re-assignment (POST),
+aberrant centroids removed, for both workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import record_report
+from repro.clustering import lloyd_kmeans, sample_init
+from repro.core import perturbed_kmeans
+from repro.datasets import courbogen_like_centroids, generate_cer, generate_numed
+from repro.privacy import strategy_from_name
+
+ITERATIONS = 10
+LABELS = ["UF10", "UF5", "G", "GF"]
+
+
+def _pre_post_rows(data, init, tag):
+    baseline = lloyd_kmeans(data.values, init, max_iterations=ITERATIONS, threshold=0.0)
+    rows = [f"{'strategy':<12}{'PRE':>10}{'POST':>10}"]
+    rows.append(f"{'no-perturb':<12}{min(baseline.inertia):>10.1f}{min(baseline.inertia):>10.1f}")
+    pre_values = {}
+    for label in LABELS:
+        result = perturbed_kmeans(
+            data, init, strategy_from_name(label, 0.69, uf_iterations=5),
+            max_iterations=ITERATIONS, rng=np.random.default_rng(42),
+        )
+        best = result.best_iteration()
+        rows.append(f"{label + '_SMA':<12}{best.pre_inertia:>10.1f}{best.post_inertia:>10.1f}")
+        pre_values[label] = (best.pre_inertia, best.post_inertia)
+    return rows, min(baseline.inertia), pre_values
+
+
+@pytest.mark.parametrize(
+    "name, figure",
+    [("cer", "Fig 2(e) CER-like"), ("numed", "Fig 2(f) NUMED-like")],
+)
+def test_fig2ef_pre_post(benchmark, name, figure):
+    if name == "cer":
+        data = generate_cer(n_series=30_000, population_scale=100, seed=1)
+        init = courbogen_like_centroids(50, np.random.default_rng(1))
+    else:
+        data = generate_numed(n_series=24_000, population_scale=50, seed=2)
+        init = sample_init(data.values, 50, np.random.default_rng(2))
+
+    rows, result = [], {}
+
+    def run():
+        nonlocal rows, result
+        rows, baseline_best, result = _pre_post_rows(data, init, name)
+        return baseline_best
+
+    baseline_best = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_report(
+        f"fig2ef_{name}_pre_post",
+        f"{figure}: lowest PRE inertia and corresponding POST inertia",
+        rows,
+    )
+
+    for label, (pre, post) in result.items():
+        assert post >= pre * 0.99  # POST never beats PRE (noise only hurts)
+        assert pre < baseline_best * 3  # the best iteration stays comparable

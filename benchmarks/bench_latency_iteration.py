@@ -1,0 +1,72 @@
+"""Section 6.3.2 — total per-iteration latency composition.
+
+The paper composes the measured gossip latencies (Fig. 4) with the local
+costs (Fig. 5) into "a first iteration completing after around 26 mins and
+a fifth one after around 10 mins" (NUMED, G_SMA, 60 % of centroids lost by
+the fifth iteration).  This bench recomputes the composition from live
+measurements of the same building blocks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import record_report
+from repro.analysis import LatencyInputs, LocalCostModel, iteration_latency, measure_crypto_costs
+from repro.crypto import generate_threshold_keypair
+from repro.gossip import dissemination_cycles, messages_to_reach_error
+
+
+def test_iteration_latency_composition(benchmark):
+    keypair = generate_threshold_keypair(
+        1024, n_shares=5, threshold=3, s=1, rng=random.Random(0)
+    )
+    model = LocalCostModel(keypair.public, k=50, series_length=20)
+
+    # Live building blocks (scaled-down measurement, paper-sized model).
+    sum_messages = messages_to_reach_error(100_000, 0.001)
+    dis_messages, _ = dissemination_cycles(100_000)
+    costs = measure_crypto_costs(keypair, k=10, series_length=20, repetitions=1)
+    scale = 50 / 10  # linear in k (Sec. 6.1.2)
+
+    inputs = LatencyInputs(
+        sum_messages_per_node=sum_messages,
+        dissemination_messages_per_node=dis_messages,
+        decryption_messages_per_node=100.0,  # τ = 0.01 % of 1M (Fig. 4b)
+        encrypt_seconds=costs["encrypt"].average * scale,
+        add_seconds=costs["add"].average * scale,
+        decrypt_seconds=costs["decrypt"].average * scale,
+    )
+
+    benchmark(lambda: iteration_latency(model, inputs))
+
+    first = iteration_latency(model, inputs, alive_fraction=1.0)
+    fifth = iteration_latency(model, inputs, alive_fraction=0.4)  # 60 % lost
+
+    rows = [
+        f"{'iteration':<12}{'messages/node':>16}{'transfer (min)':>16}{'compute (min)':>16}{'total (min)':>14}",
+        (
+            f"{'first':<12}{first.messages_per_node:>16.0f}"
+            f"{first.transfer_seconds / 60:>16.1f}{first.compute_seconds / 60:>16.1f}"
+            f"{first.total_minutes:>14.1f}"
+        ),
+        (
+            f"{'fifth':<12}{fifth.messages_per_node:>16.0f}"
+            f"{fifth.transfer_seconds / 60:>16.1f}{fifth.compute_seconds / 60:>16.1f}"
+            f"{fifth.total_minutes:>14.1f}"
+        ),
+        "(paper: ~26 min first, ~10 min fifth — NUMED, G_SMA, 1M participants)",
+    ]
+    record_report(
+        "sec632_iteration_latency",
+        "Sec 6.3.2: per-iteration latency composition",
+        rows,
+    )
+
+    # Shape: a few hundred messages per node; tens of minutes; the fifth
+    # iteration costs ~40 % of the first.
+    assert 100 <= first.messages_per_node <= 1000
+    assert 1 <= first.total_minutes <= 240
+    assert fifth.total_seconds == pytest.approx(first.total_seconds * 0.4, rel=1e-6)

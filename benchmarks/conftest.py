@@ -1,0 +1,32 @@
+"""Benchmark-suite plumbing.
+
+Every bench regenerates one of the paper's tables/figures and registers a
+text rendition via :func:`record_report`; the tables are printed in the
+pytest terminal summary (so they survive output capture) and written to
+``benchmarks/out/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_REPORTS: list[tuple[str, list[str]]] = []
+_OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def record_report(name: str, title: str, lines: list[str]) -> None:
+    """Register a figure reproduction for terminal display and save it."""
+    _REPORTS.append((title, lines))
+    _OUT_DIR.mkdir(exist_ok=True)
+    (_OUT_DIR / f"{name}.txt").write_text(title + "\n" + "\n".join(lines) + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper figure reproductions")
+    for title, lines in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in lines:
+            terminalreporter.write_line(line)

@@ -1,0 +1,57 @@
+"""Compare privacy-budget concentration strategies on electricity data.
+
+The paper's Sec. 5.1 insight: k-means gains most in its first iterations,
+so the (ε, δ) budget should be concentrated early.  This example sweeps
+GREEDY, GREEDY_FLOOR and UNIFORM_FAST (the Fig. 2(a) experiment, scaled to
+a laptop) and prints which strategy wins at which iteration.
+
+    python examples/electricity_budget_strategies.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering import lloyd_kmeans
+from repro.core import PerturbationOptions, perturbed_kmeans
+from repro.datasets import courbogen_like_centroids, generate_cer
+from repro.privacy import strategy_from_name
+
+ITERATIONS = 10
+EPSILON = 0.69  # ln 2, the paper's "common value"
+
+
+def main() -> None:
+    data = generate_cer(n_series=10_000, population_scale=100, seed=3)
+    init = courbogen_like_centroids(30, np.random.default_rng(3))
+    baseline = lloyd_kmeans(data.values, init, max_iterations=ITERATIONS, threshold=0.0)
+
+    curves = {"no-perturb": baseline.inertia}
+    for label in ("G", "GF", "UF5", "UF10"):
+        for smoothing in (True, False):
+            strategy = strategy_from_name(label, EPSILON, floor_size=4)
+            result = perturbed_kmeans(
+                data, init, strategy, max_iterations=ITERATIONS,
+                options=PerturbationOptions(smoothing=smoothing),
+                rng=np.random.default_rng(4),
+            )
+            curve = result.pre_inertia_curve
+            curves[result.label] = curve + [curve[-1]] * (ITERATIONS - len(curve))
+
+    print(f"{'strategy':<12}" + "".join(f"{i:>8d}" for i in range(1, ITERATIONS + 1)))
+    for label, curve in curves.items():
+        print(f"{label:<12}" + "".join(f"{v:>8.1f}" for v in curve[:ITERATIONS]))
+
+    print("\nwinner per iteration (lowest pre-perturbation inertia):")
+    private = {k: v for k, v in curves.items() if k != "no-perturb"}
+    for i in range(ITERATIONS):
+        winner = min(private, key=lambda k: private[k][i])
+        print(f"  iteration {i + 1:>2}: {winner:<10} ({private[winner][i]:.1f})")
+
+    print("\nPaper expectation: GREEDY variants lead the early/middle "
+          "iterations, then noise overwhelms them and the bounded/uniform "
+          "strategies catch up; SMA smoothing helps on concentrated data.")
+
+
+if __name__ == "__main__":
+    main()

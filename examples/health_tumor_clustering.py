@@ -1,0 +1,75 @@
+"""Health scenario: cluster tumor-growth trajectories privately.
+
+NUMED-like workload (the paper's second dataset): 20-week tumor-size
+series from the Claret et al. growth-model family.  Clustering reveals the
+typical response profiles (responders, stable disease, progression,
+relapse) without any patient's series leaving their device unprotected.
+
+Also demonstrates the DTW extension: comparing Euclidean and elastic
+assignments on the recovered centroids.
+
+    python examples/health_tumor_clustering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering import dtw_assign, lloyd_kmeans, sample_init
+from repro.core import perturbed_kmeans
+from repro.datasets import generate_numed
+from repro.privacy import GreedyFloor
+
+
+def sparkline(series: np.ndarray, lo: float = 0.0, hi: float = 50.0) -> str:
+    """Tiny ASCII rendition of a time-series."""
+    blocks = " .:-=+*#%@"
+    scaled = np.clip((series - lo) / (hi - lo) * (len(blocks) - 1), 0, len(blocks) - 1)
+    return "".join(blocks[int(b)] for b in scaled)
+
+
+def main() -> None:
+    data = generate_numed(n_series=8_000, population_scale=50, seed=5)
+    print(f"dataset: {data.t} patients × {data.n} weekly tumor sizes, "
+          f"effective population {data.population:,}")
+
+    init = sample_init(data.values, 8, np.random.default_rng(5))
+    private = perturbed_kmeans(
+        data, init, strategy=GreedyFloor(0.69, floor_size=4), max_iterations=8,
+        rng=np.random.default_rng(6),
+    )
+    baseline = lloyd_kmeans(data.values, init, max_iterations=8)
+
+    best = private.best_iteration()
+    print(f"\nbest private iteration: #{best.iteration}, "
+          f"inertia {best.pre_inertia:.1f} "
+          f"(baseline reaches {min(baseline.inertia):.1f})")
+
+    print("\nrecovered private centroids (week 1 → 20):")
+    for idx, centroid in enumerate(best.centroids):
+        start, end = centroid[0], centroid[-1]
+        trough = centroid.min()
+        if end < start * 0.6:
+            kind = "responder"
+        elif end > start * 1.15:
+            kind = "progression/relapse"
+        elif trough < start * 0.5 and end > trough * 1.5:
+            kind = "relapse after response"
+        else:
+            kind = "stable disease"
+        print(f"  c{idx:<2} |{sparkline(centroid)}|  {start:5.1f} → {end:5.1f}  {kind}")
+
+    # DTW extension: elastic assignment against the private centroids.
+    from repro.clustering import assign_to_closest
+
+    subset = data.values[:400]
+    dtw_labels = dtw_assign(subset, best.centroids, window=3)
+    euclid_labels = assign_to_closest(subset, best.centroids)
+    agreement = (dtw_labels == euclid_labels).mean()
+    print(f"\nDTW vs Euclidean assignment agreement on 400 patients: "
+          f"{agreement:.0%} (tumor profiles are phase-aligned, so the "
+          f"elastic measure mostly concurs — it diverges on shifted onsets)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Appendix D illustration: clear vs perturbed k-means on 750K 2-D points.
+
+Regenerates the paper's Figure 6 as an ASCII scatter: the duplicated
+A3-like dataset, the centroids of a clear k-means run and of a Chiaroscuro
+(GREEDY, no smoothing — 2-D points have no temporal adjacency) run at the
+same iteration.
+
+    python examples/points2d_illustration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering import lloyd_kmeans, sample_init
+from repro.core import PerturbationOptions, perturbed_kmeans
+from repro.datasets import generate_a3_like, generate_points2d
+from repro.privacy import Greedy
+
+GRID_W, GRID_H = 72, 28
+
+
+def ascii_scatter(points, clear_c, perturbed_c):
+    """Render data density plus both centroid sets on a character grid."""
+    grid = [[" "] * GRID_W for _ in range(GRID_H)]
+
+    def cell(p):
+        x = int(np.clip(p[0] / 1000 * (GRID_W - 1), 0, GRID_W - 1))
+        y = int(np.clip(p[1] / 1000 * (GRID_H - 1), 0, GRID_H - 1))
+        return GRID_H - 1 - y, x
+
+    sample = points[:: max(1, len(points) // 4000)]
+    for p in sample:
+        r, c = cell(p)
+        grid[r][c] = "."
+    for p in clear_c:
+        r, c = cell(p)
+        grid[r][c] = "o"
+    for p in perturbed_c:
+        r, c = cell(p)
+        grid[r][c] = "X" if grid[r][c] == "o" else "x"
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    data = generate_points2d(seed=4)
+    _, centers = generate_a3_like(seed=4)
+    init = sample_init(data.values, 50, np.random.default_rng(4))
+    print(f"{data.t:,} points in 50 clusters; k = 50, iteration of interest: 6")
+
+    clear = lloyd_kmeans(data.values, init, max_iterations=6, threshold=0.0)
+    private = perturbed_kmeans(
+        data, init, Greedy(0.69), max_iterations=6,
+        options=PerturbationOptions(smoothing=False),
+        rng=np.random.default_rng(4),
+    )
+
+    clear_c = clear.centroids[-1]
+    pert_c = private.history[-1].centroids
+    print(ascii_scatter(data.values, clear_c, pert_c))
+    print("legend: '.' data   'o' clear k-means centroid   "
+          "'x' Chiaroscuro centroid   'X' both")
+
+    def summary(centroids, label):
+        d = np.linalg.norm(
+            centroids[:, None, :] - centers[None, :, :], axis=2
+        ).min(axis=1)
+        print(f"{label:<18} {len(centroids):>3} centroids, median distance to a "
+              f"true center {np.median(d):6.1f}, 90th pct {np.quantile(d, .9):6.1f}")
+
+    summary(clear_c, "clear k-means")
+    summary(pert_c, "Chiaroscuro (G)")
+    print("\nPaper observation: perturbed centroids are less accurate but land "
+          "mostly within or between actual clusters.")
+
+
+if __name__ == "__main__":
+    main()

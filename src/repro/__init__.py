@@ -1,0 +1,72 @@
+"""repro — a from-scratch reproduction of *Chiaroscuro: Transparency and
+Privacy for Massive Personal Time-Series Clustering* (Allard, Hébrail,
+Masseglia, Pacitti — SIGMOD 2015).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the Diptych data structure, the full
+    gossip-distributed execution sequence (Algorithms 1-3) with real
+    threshold Damgård–Jurik cryptography, budget-concentration strategies
+    and mean smoothing, plus the perturbed centralized k-means quality
+    plane used by the paper's own evaluation.
+``repro.crypto``
+    Damgård–Jurik generalized Paillier with non-interactive threshold
+    decryption, Shamir sharing, and fixed-point encoding.
+``repro.privacy``
+    Laplace mechanism, divisible noise-shares, budget strategies, the
+    (ε, δ)-probabilistic machinery of Appendix B, collusion analysis.
+``repro.gossip``
+    Cycle-driven gossip simulator (Peersim substitution), Newscast views,
+    cleartext and encrypted epidemic sums, min-id dissemination, epidemic
+    threshold decryption, churn, and a vectorized 10⁶-node plane.
+``repro.clustering``
+    Lloyd k-means baseline, inertia metrics, init strategies, DTW extension.
+``repro.datasets``
+    CER-like electricity curves, NUMED-like tumor-growth series, and the
+    Appendix D 2-D points workload.
+``repro.analysis``
+    Cost/bandwidth model and iteration-latency composition.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.datasets import generate_cer, courbogen_like_centroids
+>>> from repro.privacy import Greedy
+>>> from repro.core import perturbed_kmeans
+>>> data = generate_cer(n_series=2000, population_scale=100, seed=1)
+>>> init = courbogen_like_centroids(10, np.random.default_rng(1))
+>>> result = perturbed_kmeans(data, init, Greedy(0.69), max_iterations=5)
+>>> len(result.history) > 0
+True
+"""
+
+from . import analysis, clustering, core, crypto, datasets, gossip, privacy
+from .core import (
+    ChiaroscuroParams,
+    ChiaroscuroRun,
+    ClusteringResult,
+    Diptych,
+    perturbed_kmeans,
+)
+from .privacy import Greedy, GreedyFloor, UniformFast
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChiaroscuroParams",
+    "ChiaroscuroRun",
+    "ClusteringResult",
+    "Diptych",
+    "Greedy",
+    "GreedyFloor",
+    "UniformFast",
+    "analysis",
+    "clustering",
+    "core",
+    "crypto",
+    "datasets",
+    "gossip",
+    "perturbed_kmeans",
+    "privacy",
+]

@@ -1,0 +1,16 @@
+"""Evaluation helpers: local cost/bandwidth accounting (Fig. 5) and the
+per-iteration latency composition (Sec. 6.3.2).
+"""
+
+from .costs import CostSample, LocalCostModel, means_set_bytes, measure_crypto_costs
+from .latency import IterationLatency, LatencyInputs, iteration_latency
+
+__all__ = [
+    "CostSample",
+    "IterationLatency",
+    "LatencyInputs",
+    "LocalCostModel",
+    "iteration_latency",
+    "means_set_bytes",
+    "measure_crypto_costs",
+]

@@ -1,0 +1,127 @@
+"""Local cost and bandwidth model (Sec. 6.1.2, Fig. 5).
+
+Three parameters fully determine a participant's footprint: the number of
+clusters ``k``, the mean size (= series length ``n``, plus the count), and
+the ciphertext length (≈ ``(s+1)``× the key size).  The relationships are
+linear; :class:`LocalCostModel` makes them explicit, and
+:func:`measure_crypto_costs` produces the actually-measured MIN/MAX/AVG
+triplets the Fig. 5(a) bars report, using the real cryptosystem.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..crypto.damgard_jurik import encrypt, homomorphic_add
+from ..crypto.keys import PublicKey
+from ..crypto.threshold import (
+    ThresholdKeypair,
+    combine_partial_decryptions,
+    partial_decrypt,
+)
+
+__all__ = ["LocalCostModel", "CostSample", "measure_crypto_costs", "means_set_bytes"]
+
+
+def means_set_bytes(public: PublicKey, k: int, series_length: int, with_count: bool = True) -> int:
+    """Wire size of one set of encrypted means (Fig. 5(b)).
+
+    ``k`` means × (``series_length`` sum ciphertexts + optionally the count
+    ciphertext), each of ``public.ciphertext_bytes`` bytes, plus the
+    cleartext weight/counter envelope (negligible, ignored).
+    """
+    per_mean = series_length + (1 if with_count else 0)
+    return k * per_mean * public.ciphertext_bytes
+
+
+@dataclass(frozen=True)
+class LocalCostModel:
+    """Linear cost model: everything scales with ``k·(n+1)`` ciphertexts."""
+
+    public: PublicKey
+    k: int
+    series_length: int
+
+    @property
+    def ciphertexts_per_set(self) -> int:
+        return self.k * (self.series_length + 1)
+
+    @property
+    def transfer_bytes(self) -> int:
+        """One means-set transfer (the Fig. 5(b) bar)."""
+        return means_set_bytes(self.public, self.k, self.series_length)
+
+    def exchange_bytes(self) -> int:
+        """One epidemic-sum exchange moves two means sets (push–pull)."""
+        return 2 * self.transfer_bytes
+
+    def decryption_exchange_bytes(self) -> int:
+        """One decryption exchange: encrypted + partially-decrypted copies
+        in both directions — the equivalent of four means sets (Sec. 6.3.1)."""
+        return 4 * self.transfer_bytes
+
+    def transfer_seconds(self, bandwidth_bits_per_s: float = 1e6) -> float:
+        """Transfer time of one means set on a given uplink (default 1 Mb/s)."""
+        return self.transfer_bytes * 8 / bandwidth_bits_per_s
+
+
+@dataclass
+class CostSample:
+    """MIN/MAX/AVG of a repeated timing measurement, in seconds."""
+
+    minimum: float
+    maximum: float
+    average: float
+
+    @classmethod
+    def from_times(cls, times: list[float]) -> "CostSample":
+        return cls(min(times), max(times), sum(times) / len(times))
+
+
+def measure_crypto_costs(
+    keypair: ThresholdKeypair,
+    k: int = 50,
+    series_length: int = 20,
+    repetitions: int = 3,
+    rng: random.Random | None = None,
+) -> dict[str, CostSample]:
+    """Measure encrypt / add / decrypt wall-times for one set of means.
+
+    Mirrors the Fig. 5(a) protocol: a "set of means" is ``k·(n+1)``
+    ciphertexts; *decrypt* applies ``τ`` partial decryptions plus the
+    combination, the per-iteration operation of the epidemic decryption.
+    """
+    rng = rng or random.Random(7)
+    public = keypair.public
+    count = k * (series_length + 1)
+    values = [rng.randrange(1 << 20) for _ in range(count)]
+
+    encrypt_times, add_times, decrypt_times = [], [], []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        set_a = [encrypt(public, v, rng=rng) for v in values]
+        encrypt_times.append(time.perf_counter() - start)
+
+        set_b = [encrypt(public, v, rng=rng) for v in values]
+        start = time.perf_counter()
+        added = [homomorphic_add(public, a, b) for a, b in zip(set_a, set_b)]
+        add_times.append(time.perf_counter() - start)
+
+        tau = keypair.context.threshold
+        shares = keypair.shares[:tau]
+        start = time.perf_counter()
+        for ciphertext in added:
+            partials = {
+                share.index: partial_decrypt(keypair.context, share, ciphertext)
+                for share in shares
+            }
+            combine_partial_decryptions(keypair.context, partials)
+        decrypt_times.append(time.perf_counter() - start)
+
+    return {
+        "encrypt": CostSample.from_times(encrypt_times),
+        "add": CostSample.from_times(add_times),
+        "decrypt": CostSample.from_times(decrypt_times),
+    }

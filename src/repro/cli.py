@@ -1,0 +1,153 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+Subcommands
+-----------
+``cluster``   perturbed k-means on a synthetic workload::
+
+    python -m repro cluster --dataset cer --series 10000 --scale 100 \
+        --k 20 --strategy G --epsilon 0.69 --iterations 8
+
+``plan``      print the Appendix B gossip/privacy plan (δ_atom, ι, n_e)::
+
+    python -m repro plan --delta 0.995 --e-max 1e-12 --population 1000000 \
+        --iterations 10 --length 24
+
+``costs``     the Fig. 5 cost/bandwidth sheet for a key size::
+
+    python -m repro costs --key-bits 1024 --k 50 --length 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Chiaroscuro (SIGMOD 2015) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cluster = sub.add_parser("cluster", help="run a perturbed k-means experiment")
+    cluster.add_argument("--dataset", choices=("cer", "numed"), default="cer")
+    cluster.add_argument("--series", type=int, default=10_000)
+    cluster.add_argument("--scale", type=int, default=100)
+    cluster.add_argument("--k", type=int, default=20)
+    cluster.add_argument("--strategy", default="G", help="G, GF, UF5, UF10, …")
+    cluster.add_argument("--epsilon", type=float, default=0.69)
+    cluster.add_argument("--iterations", type=int, default=8)
+    cluster.add_argument("--no-smoothing", action="store_true")
+    cluster.add_argument("--churn", type=float, default=0.0)
+    cluster.add_argument("--seed", type=int, default=0)
+
+    plan = sub.add_parser("plan", help="Appendix B privacy/gossip plan")
+    plan.add_argument("--delta", type=float, default=0.995)
+    plan.add_argument("--e-max", type=float, default=1e-12)
+    plan.add_argument("--population", type=int, default=1_000_000)
+    plan.add_argument("--iterations", type=int, default=10)
+    plan.add_argument("--length", type=int, default=24)
+
+    costs = sub.add_parser("costs", help="Fig. 5 cost/bandwidth sheet")
+    costs.add_argument("--key-bits", type=int, default=1024)
+    costs.add_argument("--k", type=int, default=50)
+    costs.add_argument("--length", type=int, default=20)
+    costs.add_argument("--measure", action="store_true",
+                       help="also measure real crypto wall-times (slow)")
+    return parser
+
+
+def _cmd_cluster(args, out) -> int:
+    from .core import PerturbationOptions, perturbed_kmeans
+    from .datasets import courbogen_like_centroids, generate_cer, generate_numed
+    from .clustering import sample_init
+    from .privacy import strategy_from_name
+
+    rng = np.random.default_rng(args.seed)
+    if args.dataset == "cer":
+        data = generate_cer(n_series=args.series, population_scale=args.scale, seed=args.seed)
+        init = courbogen_like_centroids(args.k, rng)
+    else:
+        data = generate_numed(n_series=args.series, population_scale=args.scale, seed=args.seed)
+        init = sample_init(data.values, args.k, rng)
+
+    strategy = strategy_from_name(args.strategy, args.epsilon)
+    result = perturbed_kmeans(
+        data, init, strategy, max_iterations=args.iterations,
+        options=PerturbationOptions(smoothing=not args.no_smoothing),
+        churn=args.churn, rng=rng,
+    )
+    print(f"dataset={data.name} t={data.t} n={data.n} "
+          f"population={data.population:,} sensitivity={data.sum_sensitivity:.0f}",
+          file=out)
+    print(f"strategy={result.label} iterations={result.iterations}", file=out)
+    print(f"{'iter':>4} {'pre-inertia':>12} {'post-inertia':>13} {'#centroids':>11} {'eps':>9}",
+          file=out)
+    for stats in result.history:
+        print(f"{stats.iteration:>4} {stats.pre_inertia:>12.2f} "
+              f"{stats.post_inertia:>13.2f} {stats.n_centroids:>11d} "
+              f"{stats.epsilon_spent:>9.4f}", file=out)
+    best = result.best_iteration()
+    print(f"best iteration: {best.iteration} (pre-inertia {best.pre_inertia:.2f})",
+          file=out)
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    from .privacy import GossipPrivacyPlan
+
+    plan = GossipPrivacyPlan(
+        delta=args.delta, e_max=args.e_max, population=args.population,
+        max_iterations=args.iterations, series_length=args.length,
+    )
+    print(f"delta={plan.delta} e_max={plan.e_max} population={plan.population:,}", file=out)
+    print(f"delta_atom = {plan.delta_atom:.10f} "
+          f"(= {args.iterations * 2 * args.length}-th root of delta)", file=out)
+    print(f"iota = {plan.iota:.3e} (strict Lemma-2 variant: {plan.iota_strict:.3e})",
+          file=out)
+    print(f"exchanges per participant per EESum (Thm 3): n_e = {plan.exchanges}", file=out)
+    print(f"Lemma-2 noise inflation factor: {plan.noise_inflation:.12f}", file=out)
+    return 0
+
+
+def _cmd_costs(args, out) -> int:
+    import random
+
+    from .analysis import LocalCostModel, measure_crypto_costs
+    from .crypto import generate_threshold_keypair
+
+    keypair = generate_threshold_keypair(
+        args.key_bits, n_shares=5, threshold=3, rng=random.Random(0)
+    )
+    model = LocalCostModel(keypair.public, k=args.k, series_length=args.length)
+    print(f"key: {args.key_bits} bits, ciphertext {keypair.public.ciphertext_bytes} B",
+          file=out)
+    print(f"means set ({args.k} × ({args.length}+1) ciphertexts): "
+          f"{model.transfer_bytes / 1024:.1f} kB", file=out)
+    print(f"sum exchange: {model.exchange_bytes() / 1024:.1f} kB; "
+          f"decryption exchange: {model.decryption_exchange_bytes() / 1024:.1f} kB",
+          file=out)
+    print(f"transfer at 1 Mb/s: {model.transfer_seconds():.2f} s", file=out)
+    if args.measure:
+        costs = measure_crypto_costs(keypair, k=args.k, series_length=args.length,
+                                     repetitions=1)
+        for op, sample in costs.items():
+            print(f"{op:>8}: avg {sample.average:.3f} s", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {"cluster": _cmd_cluster, "plan": _cmd_plan, "costs": _cmd_costs}
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

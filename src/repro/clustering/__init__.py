@@ -1,0 +1,30 @@
+"""Cleartext clustering plane: Lloyd k-means baseline, inertia metrics
+(Definition 1), initialization strategies, and the DTW extension.
+"""
+
+from .distance import assign_to_closest, pairwise_sq_euclidean, squared_euclidean
+from .dtw import dba_mean, dtw_assign, dtw_distance, dtw_path
+from .inertia import dataset_inertia, inertia_report, inter_inertia, intra_inertia
+from .init import kmeanspp_init, sample_init, template_init, uniform_init
+from .kmeans import KMeansTrace, compute_means, lloyd_kmeans
+
+__all__ = [
+    "KMeansTrace",
+    "assign_to_closest",
+    "compute_means",
+    "dataset_inertia",
+    "dba_mean",
+    "dtw_assign",
+    "dtw_distance",
+    "dtw_path",
+    "inertia_report",
+    "inter_inertia",
+    "intra_inertia",
+    "kmeanspp_init",
+    "lloyd_kmeans",
+    "pairwise_sq_euclidean",
+    "sample_init",
+    "squared_euclidean",
+    "template_init",
+    "uniform_init",
+]

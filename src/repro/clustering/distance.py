@@ -1,0 +1,54 @@
+"""Distance kernels used by the assignment step.
+
+The paper uses squared Euclidean distance between length-``n`` series and
+centroids.  Assignments over millions of series must not materialize the
+full ``t × k`` distance matrix in one piece, so :func:`assign_to_closest`
+chunks the computation (the same discipline a database engine would apply).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["squared_euclidean", "pairwise_sq_euclidean", "assign_to_closest"]
+
+
+def squared_euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance ``||a − b||²`` between two vectors."""
+    diff = np.asarray(a, dtype=float) - np.asarray(b, dtype=float)
+    return float(diff @ diff)
+
+
+def pairwise_sq_euclidean(series: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """All ``t × k`` squared distances via the expansion ``|x|² − 2x·c + |c|²``."""
+    series = np.asarray(series, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    x_sq = np.einsum("ij,ij->i", series, series)[:, None]
+    c_sq = np.einsum("ij,ij->j", centroids.T, centroids.T)[None, :]
+    cross = series @ centroids.T
+    distances = x_sq - 2.0 * cross + c_sq
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def assign_to_closest(
+    series: np.ndarray, centroids: np.ndarray, chunk_size: int = 65536
+) -> np.ndarray:
+    """Index of the closest centroid for every series (the assignment step).
+
+    Processes ``chunk_size`` series at a time so the intermediate distance
+    block stays small even for multi-million-series datasets.
+    """
+    series = np.asarray(series, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    if centroids.ndim != 2 or series.ndim != 2:
+        raise ValueError("series and centroids must be 2-D matrices")
+    if series.shape[1] != centroids.shape[1]:
+        raise ValueError("series and centroids must share the same length n")
+    t = series.shape[0]
+    labels = np.empty(t, dtype=np.int64)
+    for start in range(0, t, chunk_size):
+        stop = min(start + chunk_size, t)
+        block = pairwise_sq_euclidean(series[start:stop], centroids)
+        labels[start:stop] = np.argmin(block, axis=1)
+    return labels

@@ -1,0 +1,123 @@
+"""Dynamic Time Warping distance and DTW-barycenter averaging (extension).
+
+The paper clusters with Euclidean distance, but its conclusion points at
+richer iterative analytics over time-series as future work; DTW is the
+canonical elastic measure for the electricity/health series Chiaroscuro
+targets.  We provide:
+
+* :func:`dtw_distance` — classic O(n·m) dynamic program with an optional
+  Sakoe–Chiba band (window) for the usual linear-time approximation;
+* :func:`dba_mean` — DTW Barycenter Averaging (Petitjean-style), the DTW
+  analogue of the k-means computation step;
+* :func:`dtw_assign` — assignment step under DTW.
+
+These plug into the *cleartext* planes (baseline and perturbed-centralized
+k-means).  They are deliberately not wired into the encrypted protocol: the
+Diptych structure only supports additive aggregates, and that boundary is
+exactly the "which algorithms can Chiaroscuro support" question the paper
+leaves open.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dtw_distance", "dtw_path", "dtw_assign", "dba_mean"]
+
+
+def _cost_matrix(a: np.ndarray, b: np.ndarray, window: int | None) -> np.ndarray:
+    n, m = len(a), len(b)
+    if window is not None:
+        window = max(window, abs(n - m))
+    cost = np.full((n + 1, m + 1), np.inf)
+    cost[0, 0] = 0.0
+    for i in range(1, n + 1):
+        if window is None:
+            lo, hi = 1, m
+        else:
+            lo, hi = max(1, i - window), min(m, i + window)
+        ai = a[i - 1]
+        for j in range(lo, hi + 1):
+            d = (ai - b[j - 1]) ** 2
+            cost[i, j] = d + min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+    return cost
+
+
+def dtw_distance(a: np.ndarray, b: np.ndarray, window: int | None = None) -> float:
+    """DTW distance (square root of the accumulated squared cost).
+
+    ``window`` is the Sakoe–Chiba band half-width; ``None`` means
+    unconstrained.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError("dtw_distance expects 1-D series")
+    return float(np.sqrt(_cost_matrix(a, b, window)[len(a), len(b)]))
+
+
+def dtw_path(
+    a: np.ndarray, b: np.ndarray, window: int | None = None
+) -> list[tuple[int, int]]:
+    """Optimal warping path as (i, j) index pairs (0-based, monotone)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    cost = _cost_matrix(a, b, window)
+    i, j = len(a), len(b)
+    path = []
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = (cost[i - 1, j - 1], cost[i - 1, j], cost[i, j - 1])
+        best = int(np.argmin(moves))
+        if best == 0:
+            i, j = i - 1, j - 1
+        elif best == 1:
+            i -= 1
+        else:
+            j -= 1
+    path.reverse()
+    return path
+
+
+def dtw_assign(
+    series: np.ndarray, centroids: np.ndarray, window: int | None = None
+) -> np.ndarray:
+    """Assignment step under DTW (O(t·k·n²); use small datasets or a window)."""
+    series = np.asarray(series, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    labels = np.empty(len(series), dtype=np.int64)
+    for idx, s in enumerate(series):
+        best, best_d = 0, np.inf
+        for c_idx, c in enumerate(centroids):
+            d = dtw_distance(s, c, window)
+            if d < best_d:
+                best, best_d = c_idx, d
+        labels[idx] = best
+    return labels
+
+
+def dba_mean(
+    series: np.ndarray,
+    initial: np.ndarray,
+    iterations: int = 5,
+    window: int | None = None,
+) -> np.ndarray:
+    """DTW Barycenter Averaging: the mean under warping alignment.
+
+    Each pass aligns every series to the current barycenter and averages
+    the values mapped onto each barycenter coordinate.
+    """
+    series = np.asarray(series, dtype=float)
+    barycenter = np.asarray(initial, dtype=float).copy()
+    if len(series) == 0:
+        return barycenter
+    for _ in range(iterations):
+        sums = np.zeros_like(barycenter)
+        counts = np.zeros(len(barycenter))
+        for s in series:
+            for i, j in dtw_path(barycenter, s, window):
+                sums[i] += s[j]
+                counts[i] += 1
+        mask = counts > 0
+        barycenter[mask] = sums[mask] / counts[mask]
+    return barycenter

@@ -1,0 +1,44 @@
+"""Chiaroscuro core: the Diptych structure, the full distributed execution
+sequence (Algorithms 1-3) with real threshold cryptography, and the
+perturbed centralized k-means quality plane.
+"""
+
+from .computation import ComputationOutput, ComputationStep
+from .config import ChiaroscuroParams
+from .diptych import Diptych, EncryptedMean, initialize_means
+from .noise import NoisePlan, encrypt_share_vector
+from .participant import Participant
+from .perturbed_em import EMTrace, GaussianMixtureState, em_sensitivities, perturbed_em
+from .perturbed_kmeans import PerturbationOptions, perturbed_kmeans
+from .protocol import ChiaroscuroRun, DistributedTrace
+from .quality_monitor import QualityMonitor
+from .results import ClusteringResult, IterationStats
+from .smoothing import sma_smooth
+from .verification import CrossCheckReport, DecryptionCrossCheck, DeviceRegistry
+
+__all__ = [
+    "ChiaroscuroParams",
+    "ChiaroscuroRun",
+    "ClusteringResult",
+    "ComputationOutput",
+    "ComputationStep",
+    "CrossCheckReport",
+    "DecryptionCrossCheck",
+    "DeviceRegistry",
+    "Diptych",
+    "DistributedTrace",
+    "EMTrace",
+    "EncryptedMean",
+    "GaussianMixtureState",
+    "IterationStats",
+    "NoisePlan",
+    "Participant",
+    "PerturbationOptions",
+    "QualityMonitor",
+    "em_sensitivities",
+    "encrypt_share_vector",
+    "initialize_means",
+    "perturbed_em",
+    "perturbed_kmeans",
+    "sma_smooth",
+]

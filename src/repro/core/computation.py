@@ -1,0 +1,170 @@
+"""The computation step (Algorithm 3) over the gossip engine.
+
+One instance executes, for a single k-means iteration:
+
+1. **Epidemic computation of the encrypted means** — the EESum protocol
+   over every participant's flattened ``k·(n+1)`` ciphertext vector;
+2. **Epidemic noise generation** — the noise-share EESum (carried in the
+   *same* exchange stream so scales stay aligned), the cleartext epidemic
+   counter ``ctr``, and the min-identifier surplus-correction
+   dissemination;
+3. **Encrypted perturbation** — homomorphic addition of the converged
+   noise to the converged means;
+4. **Epidemic decryption** — the threshold protocol of Sec. 4.2.3.
+
+The correction vector is public, data-independent material (it travels in
+clear with its identifier); we subtract it right after decryption instead
+of homomorphically re-encoding it beforehand — arithmetically identical
+and noted in DESIGN.md.
+
+The output is per-node: each participant ends the step with its own decoded
+``(sums, counts)`` per cluster; Theorem 1's correctness shows these agree
+across nodes up to the epidemic approximation error, and the integration
+tests measure exactly that agreement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..crypto.damgard_jurik import homomorphic_add
+from ..crypto.encoding import FixedPointCodec
+from ..crypto.threshold import ThresholdKeypair
+from ..gossip.aggregation import EpidemicSum
+from ..gossip.decryption import EpidemicDecryption
+from ..gossip.dissemination import MinIdDissemination
+from ..gossip.eesum import EESum
+from ..gossip.engine import GossipEngine
+from .noise import NoisePlan, encrypt_share_vector
+
+__all__ = ["ComputationStep", "ComputationOutput"]
+
+
+class ComputationOutput:
+    """Per-node decoded aggregates after one computation step."""
+
+    def __init__(self, k: int, series_length: int) -> None:
+        self.k = k
+        self.series_length = series_length
+        self.sums: dict[int, np.ndarray] = {}  # node id → (k, n)
+        self.counts: dict[int, np.ndarray] = {}  # node id → (k,)
+
+    def perturbed_means(self, node_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """(means, counts) for a node; lost clusters carry non-positive counts."""
+        sums = self.sums[node_id]
+        counts = self.counts[node_id]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = sums / counts[:, None]
+        return means, counts
+
+    def agreement(self) -> float:
+        """Max pairwise relative disagreement of the decoded sums (diagnostic)."""
+        stacked = np.array([self.sums[i] for i in sorted(self.sums)])
+        spread = stacked.max(axis=0) - stacked.min(axis=0)
+        magnitude = np.abs(stacked).max(axis=0) + 1e-12
+        return float((spread / magnitude).max())
+
+
+class ComputationStep:
+    """Algorithm 3, parameterized by the crypto material and epidemic knobs."""
+
+    def __init__(
+        self,
+        keypair: ThresholdKeypair,
+        codec: FixedPointCodec,
+        noise_plan: NoisePlan,
+        exchanges: int,
+        crypto_rng: random.Random,
+        noise_rng: np.random.Generator,
+    ) -> None:
+        self.keypair = keypair
+        self.codec = codec
+        self.noise_plan = noise_plan
+        self.exchanges = exchanges
+        self.crypto_rng = crypto_rng
+        self.noise_rng = noise_rng
+
+    def run(
+        self,
+        engine: GossipEngine,
+        mean_vectors: dict[int, list[int]],
+    ) -> ComputationOutput:
+        """Execute the computation step for every node of ``engine``.
+
+        ``mean_vectors`` maps node id → flattened encrypted means
+        (``k·(n+1)`` ciphertexts, the Alg. 1 l.6 initialization).
+        """
+        public = self.keypair.public
+        node_ids = [node.node_id for node in engine.nodes]
+        dims = self.noise_plan.dimensions
+
+        # --- local noise-share generation (Alg. 3 l.4) -------------------
+        shares = {i: self.noise_plan.draw_share(self.noise_rng) for i in node_ids}
+        noise_vectors = {
+            i: encrypt_share_vector(public, self.codec, shares[i], self.crypto_rng)
+            for i in node_ids
+        }
+
+        # --- background epidemic sums (Alg. 3 l.2 & l.5) -----------------
+        # Means and noise ride the same EESum instance so their delayed-
+        # division scales stay aligned; the cleartext counter gossips on
+        # the same exchange stream.
+        combined = {i: mean_vectors[i] + noise_vectors[i] for i in node_ids}
+        eesum = EESum(public, combined)
+        counter = EpidemicSum({i: np.array([1.0]) for i in node_ids})
+        engine.setup(eesum, counter)
+        engine.run_cycles(self.exchanges, eesum, counter)
+
+        # --- epidemic noise correction (Alg. 3 l.6) ----------------------
+        proposals: dict[int, tuple[int, np.ndarray]] = {}
+        for node in engine.nodes:
+            estimate = counter.estimate(node)
+            if estimate is None:
+                continue
+            contributors = int(round(float(estimate[0])))
+            correction = self.noise_plan.correction(contributors, self.noise_rng)
+            proposals[node.node_id] = (self.crypto_rng.getrandbits(63), correction)
+        dissemination = MinIdDissemination(proposals)
+        engine.setup(dissemination)
+        engine.run_cycles(self.exchanges, dissemination)
+
+        # --- encrypted perturbation (Alg. 3 l.7) --------------------------
+        bundles: dict[int, tuple[list[int], int]] = {}
+        for node in engine.nodes:
+            state = eesum.state_of(node)
+            means_part = state.ciphertexts[:dims]
+            noise_part = state.ciphertexts[dims:]
+            perturbed = [
+                homomorphic_add(public, m, v) for m, v in zip(means_part, noise_part)
+            ]
+            bundles[node.node_id] = (perturbed, state.omega)
+
+        # --- epidemic decryption (Alg. 3 l.8-10) ---------------------------
+        key_shares = {
+            i: self.keypair.shares[i % len(self.keypair.shares)] for i in node_ids
+        }
+        decryption = EpidemicDecryption(self.keypair.context, bundles, key_shares)
+        engine.setup(decryption)
+        for _ in range(10 * self.exchanges):
+            engine.run_cycle(decryption)
+            if decryption.all_done(engine.nodes):
+                break
+
+        # --- decode (Alg. 3 l.10-11) ---------------------------------------
+        output = ComputationOutput(self.noise_plan.k, self.noise_plan.series_length)
+        stride = self.noise_plan.series_length + 1
+        for node in engine.nodes:
+            plaintexts, omega = decryption.plaintexts_of(node)
+            if omega <= 0:
+                continue
+            values = np.array([self.codec.decode(p) for p in plaintexts])
+            values /= float(omega)  # σ/ω — the epidemic sum estimate
+            correction_entry = dissemination.value_of(node)
+            if correction_entry is not None:
+                values -= correction_entry[1]
+            grid = values.reshape(self.noise_plan.k, stride)
+            output.sums[node.node_id] = grid[:, :-1]
+            output.counts[node.node_id] = grid[:, -1]
+        return output

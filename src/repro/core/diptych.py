@@ -1,0 +1,128 @@
+"""The Diptych data structure (Definition 6).
+
+A Diptych has two panels:
+
+* ``C`` — the cleartext, *differentially-private* centroids every
+  participant uses for the local assignment step;
+* ``M`` — the *encrypted* means, one per cluster, each represented by
+  ``(s = E(σ_sum), c = E(σ_count), ω)``: the homomorphically encrypted
+  epidemic sum of the member series, the encrypted epidemic count, and the
+  cleartext weight (harmless — data-independent).
+
+Everything that depends on a participant's series is either encrypted or
+differentially private; that invariant is what Theorem 2's proof walks
+through, and :meth:`Diptych.exported_fields` exposes it for the
+information-flow audit test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..crypto.damgard_jurik import encrypt
+from ..crypto.encoding import FixedPointCodec
+from ..crypto.keys import PublicKey
+
+__all__ = ["EncryptedMean", "Diptych"]
+
+
+@dataclass
+class EncryptedMean:
+    """One cluster's encrypted mean: E(sum vector), E(count), clear weight."""
+
+    sum_cipher: list[int]
+    count_cipher: int
+    omega: int = 0
+
+    def as_vector(self) -> list[int]:
+        """Flatten to the ciphertext vector EESum operates on (sum ‖ count)."""
+        return [*self.sum_cipher, self.count_cipher]
+
+    @classmethod
+    def from_vector(cls, vector: list[int], omega: int) -> "EncryptedMean":
+        """Rebuild from a flattened ciphertext vector."""
+        return cls(sum_cipher=list(vector[:-1]), count_cipher=vector[-1], omega=omega)
+
+
+@dataclass
+class Diptych:
+    """The two-panel structure a participant holds during one iteration."""
+
+    centroids: np.ndarray  # cleartext, differentially private
+    means: list[EncryptedMean] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        """Number of clusters currently alive."""
+        return len(self.centroids)
+
+    def flatten_means(self) -> list[int]:
+        """All means' ciphertexts as one vector (k·(n+1) elements)."""
+        flat: list[int] = []
+        for mean in self.means:
+            flat.extend(mean.as_vector())
+        return flat
+
+    @staticmethod
+    def unflatten_means(vector: list[int], k: int, omega: int) -> list[EncryptedMean]:
+        """Inverse of :meth:`flatten_means` for ``k`` clusters."""
+        if k < 1 or len(vector) % k != 0:
+            raise ValueError("vector length must be a positive multiple of k")
+        stride = len(vector) // k
+        return [
+            EncryptedMean.from_vector(vector[i * stride : (i + 1) * stride], omega)
+            for i in range(k)
+        ]
+
+    def exported_fields(self) -> dict[str, str]:
+        """Classification of every field that leaves the device.
+
+        Returns field → one of ``"dp"`` (differentially private),
+        ``"encrypted"``, ``"independent"`` (data-independent) — the
+        trichotomy of the Theorem 2 proof.
+        """
+        return {
+            "centroids": "dp",
+            "means.sum_cipher": "encrypted",
+            "means.count_cipher": "encrypted",
+            "means.omega": "independent",
+        }
+
+
+def initialize_means(
+    public: PublicKey,
+    codec: FixedPointCodec,
+    series: np.ndarray,
+    assigned_cluster: int,
+    k: int,
+    rng,
+    randomizers: list[int] | None = None,
+) -> list[EncryptedMean]:
+    """The assignment-step initialization of the encrypted means (Alg. 1, l.6).
+
+    The assigned cluster gets the participant's series encrypted
+    dimension-wise with count E(1); every other cluster gets encrypted
+    zeros with count E(0).  ``randomizers`` optionally supplies
+    pre-computed ``r^{n^s}`` values (k·(n+1) of them) to amortize the
+    encryption modexps.
+    """
+    series = np.asarray(series, dtype=float)
+    n = len(series)
+    pool = iter(randomizers) if randomizers is not None else None
+
+    def _enc(value: int) -> int:
+        randomizer = next(pool) if pool is not None else None
+        return encrypt(public, value, rng=rng, randomizer=randomizer)
+
+    means = []
+    for cluster in range(k):
+        if cluster == assigned_cluster:
+            sums = [_enc(codec.encode(x)) for x in series]
+            count = _enc(codec.encode(1.0))
+        else:
+            sums = [_enc(0) for _ in range(n)]
+            count = _enc(0)
+        means.append(EncryptedMean(sum_cipher=sums, count_cipher=count, omega=0))
+    return means

@@ -1,0 +1,83 @@
+"""Epidemic noise generation — the participant-side half (Sec. 4.2.2).
+
+Each iteration needs ``k·(n+1)`` Laplace random variables (one per mean
+dimension plus one per count), generated so that **no single participant
+knows the total noise**.  Participants draw *noise-shares* (Def. 5)
+locally, encrypt them, and feed them to the same EESum stream as the means;
+the surplus over the assumed ``n_ν`` contributors is cancelled by the
+min-identifier correction (Lemma 3 guarantees the surplus itself never
+endangers privacy).
+
+This module packages the per-participant arithmetic: scale computation for
+an iteration's budget slice, share generation, encryption, and the
+correction proposal.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..crypto.damgard_jurik import encrypt
+from ..crypto.encoding import FixedPointCodec
+from ..crypto.keys import PublicKey
+from ..privacy.laplace import joint_sensitivity
+from ..privacy.noise_shares import gen_noise_share, surplus_correction
+
+__all__ = ["NoisePlan", "encrypt_share_vector"]
+
+
+class NoisePlan:
+    """Everything one participant needs to perturb one iteration's Diptych.
+
+    ``dimensions`` is ``k·(n+1)``; ``scale`` is the Laplace scale for the
+    iteration's ε slice using the joint (sum, count) sensitivity.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        series_length: int,
+        dmin: float,
+        dmax: float,
+        epsilon: float,
+        n_nu: int,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if n_nu < 1:
+            raise ValueError("n_nu must be >= 1")
+        self.k = k
+        self.series_length = series_length
+        self.dimensions = k * (series_length + 1)
+        self.scale = joint_sensitivity(series_length, dmin, dmax) / epsilon
+        self.n_nu = n_nu
+
+    def draw_share(self, rng: np.random.Generator) -> np.ndarray:
+        """One participant's noise-share vector (Def. 5), length ``dimensions``."""
+        return gen_noise_share(self.n_nu, self.scale, rng, size=self.dimensions)
+
+    def correction(self, contributors: int, rng: np.random.Generator) -> np.ndarray:
+        """The surplus-correction proposal for an observed contributor count."""
+        return surplus_correction(
+            contributors, self.n_nu, self.scale, rng, self.dimensions
+        )
+
+
+def encrypt_share_vector(
+    public: PublicKey,
+    codec: FixedPointCodec,
+    share: np.ndarray,
+    rng: random.Random,
+    randomizers: list[int] | None = None,
+) -> list[int]:
+    """Encode and encrypt a noise-share vector for the EESum stream."""
+    pool = iter(randomizers) if randomizers is not None else None
+    ciphertexts = []
+    for value in np.asarray(share, dtype=float):
+        randomizer = next(pool) if pool is not None else None
+        ciphertexts.append(
+            encrypt(public, codec.encode(float(value)), rng=rng, randomizer=randomizer)
+        )
+    return ciphertexts

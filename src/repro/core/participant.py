@@ -1,0 +1,50 @@
+"""Participant-local operations (the cleartext steps of Algorithm 1).
+
+The assignment step and the convergence step run locally on cleartext data
+(App. C.1): the participant measures distances between its own series and
+the differentially-private centroids, picks the closest, and initializes
+its encrypted means.  This module holds those per-device computations so
+the protocol orchestrator stays readable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clustering.distance import pairwise_sq_euclidean
+from ..crypto.encoding import FixedPointCodec
+from ..crypto.keys import PublicKey
+from .diptych import initialize_means
+
+__all__ = ["Participant"]
+
+
+@dataclass
+class Participant:
+    """One device: its series, its node id, and its crypto handles."""
+
+    node_id: int
+    series: np.ndarray
+    public: PublicKey
+    codec: FixedPointCodec
+
+    def closest_centroid(self, centroids: np.ndarray) -> int:
+        """Assignment step: index of the closest cleartext centroid."""
+        distances = pairwise_sq_euclidean(self.series[None, :], centroids)[0]
+        return int(np.argmin(distances))
+
+    def encrypted_means_vector(
+        self, centroids: np.ndarray, rng: random.Random
+    ) -> list[int]:
+        """Alg. 1 l.5-6: assign locally, return the flattened encrypted means."""
+        assigned = self.closest_centroid(centroids)
+        means = initialize_means(
+            self.public, self.codec, self.series, assigned, len(centroids), rng
+        )
+        flat: list[int] = []
+        for mean in means:
+            flat.extend(mean.as_vector())
+        return flat

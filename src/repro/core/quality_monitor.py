@@ -1,0 +1,91 @@
+"""Quality-driven termination (Sec. 5.1, footnote 9).
+
+The paper sketches a smarter termination criterion than the fixed iteration
+cap: participants can monitor the centroids' quality through the
+*inter-cluster inertia* (Def. 1) — computable from information that is
+already public during the run:
+
+* each cluster's (perturbed) cardinality — released with the means;
+* the center of mass ``g`` of the full dataset and the total count —
+  computable once, before the run, by one extra encrypted gossip sum with
+  its own distributed noise;
+
+and stop as soon as the quality starts to drop (the moment the noise
+becomes intractable).
+
+:class:`QualityMonitor` implements exactly that: feed it the released
+(perturbed) means and counts after every iteration, and it reports whether
+the run should stop.  It works on *public* quantities only, so plugging it
+into either execution plane changes no privacy property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QualityMonitor"]
+
+
+@dataclass
+class QualityMonitor:
+    """Stop-when-quality-drops criterion over public per-iteration releases.
+
+    ``global_centroid`` and ``total_count`` are the pre-computed dataset
+    center of mass and cardinality (both perturbed once, before the run,
+    per footnote 9).  ``patience`` consecutive quality drops trigger the
+    stop (1 = stop at the first drop, the paper's sketch).
+    """
+
+    global_centroid: np.ndarray
+    total_count: float
+    patience: int = 1
+    inter_inertia_history: list[float] = field(default_factory=list)
+    _drops: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.global_centroid = np.asarray(self.global_centroid, dtype=float)
+        if self.total_count <= 0:
+            raise ValueError("total_count must be positive")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+    def inter_inertia(self, means: np.ndarray, counts: np.ndarray) -> float:
+        """Inter-cluster inertia from released means and cardinalities.
+
+        ``q_inter = Σ_i (|ζ_i|/t)·||C_i − g||²`` — higher means the
+        centroids spread the data better (the intra inertia is its
+        complement w.r.t. the constant full inertia, so *rising* inter
+        inertia is *improving* quality).
+        """
+        means = np.asarray(means, dtype=float)
+        counts = np.clip(np.asarray(counts, dtype=float), 0.0, None)
+        diff = means - self.global_centroid
+        sq = np.einsum("ij,ij->i", diff, diff)
+        return float((counts / self.total_count) @ sq)
+
+    def observe(self, means: np.ndarray, counts: np.ndarray) -> bool:
+        """Record one iteration's release; return True when the run should stop.
+
+        Quality "starts to drop" when the inter-cluster inertia decreases
+        relative to the best value seen so far, ``patience`` times in a row.
+        """
+        value = self.inter_inertia(means, counts)
+        history = self.inter_inertia_history
+        history.append(value)
+        if len(history) == 1:
+            return False
+        best_before = max(history[:-1])
+        if value < best_before:
+            self._drops += 1
+        else:
+            self._drops = 0
+        return self._drops >= self.patience
+
+    @property
+    def best_iteration(self) -> int:
+        """1-indexed iteration with the highest inter-cluster inertia so far."""
+        if not self.inter_inertia_history:
+            raise ValueError("no iterations observed yet")
+        return int(np.argmax(self.inter_inertia_history)) + 1

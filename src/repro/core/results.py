@@ -1,0 +1,69 @@
+"""Result containers for Chiaroscuro runs (both planes).
+
+``IterationStats`` captures exactly what the paper plots:
+
+* ``pre_inertia``   — intra-cluster inertia of the partition measured
+  against the *unperturbed* means (Figs. 2a/2b "before perturbing");
+* ``post_inertia``  — inertia against the perturbed (and smoothed)
+  centroids without re-assignment, aberrant centroids removed (Figs. 2e/2f
+  "POST");
+* ``n_centroids``   — surviving centroids after the lost-mean effect
+  (Figs. 2c/2d);
+* ``epsilon_spent`` — the iteration's budget slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationStats", "ClusteringResult"]
+
+
+@dataclass
+class IterationStats:
+    """Everything measured during one perturbed k-means iteration."""
+
+    iteration: int
+    pre_inertia: float
+    post_inertia: float
+    n_centroids: int
+    epsilon_spent: float
+    centroids: np.ndarray
+
+
+@dataclass
+class ClusteringResult:
+    """A full run: final centroids plus the per-iteration history."""
+
+    centroids: np.ndarray
+    history: list[IterationStats] = field(default_factory=list)
+    converged: bool = False
+    strategy: str = ""
+    smoothing: bool = False
+
+    @property
+    def iterations(self) -> int:
+        return len(self.history)
+
+    @property
+    def pre_inertia_curve(self) -> list[float]:
+        """The Fig. 2(a)/(b) series."""
+        return [stats.pre_inertia for stats in self.history]
+
+    @property
+    def n_centroids_curve(self) -> list[int]:
+        """The Fig. 2(c)/(d) series."""
+        return [stats.n_centroids for stats in self.history]
+
+    def best_iteration(self) -> IterationStats:
+        """The iteration with the lowest pre-perturbation inertia (Fig. 2e/2f)."""
+        if not self.history:
+            raise ValueError("empty run")
+        return min(self.history, key=lambda stats: stats.pre_inertia)
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``"G_SMA"`` or ``"UF5"``."""
+        return f"{self.strategy}_SMA" if self.smoothing else self.strategy

@@ -1,0 +1,63 @@
+"""Cryptographic substrate: Damgård–Jurik with threshold decryption.
+
+This package is the paper's Sec. 3.3.1 building block — a semantically
+secure, additively homomorphic encryption scheme with non-interactive
+threshold decryption — implemented from scratch on Python integers.
+"""
+
+from .damgard_jurik import (
+    decrypt,
+    dlog_1_plus_n,
+    encrypt,
+    encrypt_zero_pool,
+    generate_keypair,
+    homomorphic_add,
+    homomorphic_scalar_mul,
+    powers_of_g,
+)
+from .encoding import FixedPointCodec
+from .keys import KeyShare, PrivateKey, PublicKey, ThresholdContext
+from .serialization import (
+    ciphertext_from_bytes,
+    ciphertext_to_bytes,
+    means_payload_from_bytes,
+    means_payload_to_bytes,
+    public_key_from_bytes,
+    public_key_to_bytes,
+)
+from .shamir import lagrange_at_zero, reconstruct_at_zero, share_secret
+from .threshold import (
+    ThresholdKeypair,
+    combine_partial_decryptions,
+    generate_threshold_keypair,
+    partial_decrypt,
+)
+
+__all__ = [
+    "FixedPointCodec",
+    "KeyShare",
+    "PrivateKey",
+    "PublicKey",
+    "ThresholdContext",
+    "ThresholdKeypair",
+    "ciphertext_from_bytes",
+    "ciphertext_to_bytes",
+    "combine_partial_decryptions",
+    "decrypt",
+    "dlog_1_plus_n",
+    "encrypt",
+    "encrypt_zero_pool",
+    "generate_keypair",
+    "generate_threshold_keypair",
+    "homomorphic_add",
+    "homomorphic_scalar_mul",
+    "lagrange_at_zero",
+    "means_payload_from_bytes",
+    "means_payload_to_bytes",
+    "partial_decrypt",
+    "powers_of_g",
+    "public_key_from_bytes",
+    "public_key_to_bytes",
+    "reconstruct_at_zero",
+    "share_secret",
+]

@@ -1,0 +1,174 @@
+"""The Damgård–Jurik generalized Paillier cryptosystem (Sec. 3.3.1).
+
+Implements the scheme exactly as the paper lists it:
+
+1. public key ``χ = (n, g)`` with ``n`` an RSA modulus and ``g = 1 + n`` in
+   ``Z*_{n^{s+1}}``;
+2. encryption ``E_χ(a) = g^a · r^{n^s} mod n^{s+1}``;
+3. homomorphic addition ``E(a) +_h E(b) = E(a) × E(b)``;
+4. scalar multiplication ``E(a)^k = E(k·a)`` (used by the Alg. 2 scaling
+   update rule of the EESum protocol);
+5. decryption by raising to the CRT exponent ``d`` and extracting the
+   discrete log of ``(1+n)^a`` with Damgård–Jurik's recursive algorithm.
+
+Threshold decryption lives in :mod:`repro.crypto.threshold`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from .keys import PrivateKey, PublicKey
+from .numtheory import (
+    crt_pair,
+    fixture_safe_primes,
+    gcd,
+    lcm,
+    modinv,
+    random_safe_prime,
+)
+
+__all__ = [
+    "generate_keypair",
+    "encrypt",
+    "decrypt",
+    "homomorphic_add",
+    "homomorphic_scalar_mul",
+    "encrypt_zero_pool",
+    "powers_of_g",
+    "dlog_1_plus_n",
+]
+
+
+def generate_keypair(
+    key_bits: int,
+    s: int = 1,
+    rng: random.Random | None = None,
+    use_fixtures: bool = True,
+) -> PrivateKey:
+    """Generate an ``s``-expansion Damgård–Jurik keypair with a ``key_bits`` modulus.
+
+    ``use_fixtures`` pulls pre-generated safe primes (fast, deterministic —
+    fine for a reproduction; the paper likewise fixes one 1024-bit key).  Set
+    it to ``False`` to generate fresh safe primes with ``rng``.
+    """
+    rng = rng or random.Random()
+    half = key_bits // 2
+    if use_fixtures:
+        try:
+            p, q = fixture_safe_primes(half, count=2)
+        except KeyError:
+            p = random_safe_prime(half, rng)
+            q = random_safe_prime(half, rng)
+    else:
+        p = random_safe_prime(half, rng)
+        q = random_safe_prime(half, rng)
+    if p == q:
+        raise ValueError("p and q must differ")
+    n = p * q
+    public = PublicKey(n=n, s=s)
+    lam = lcm(p - 1, q - 1)
+    if gcd(lam, public.n_s) != 1:
+        raise ValueError("lambda(n) and n^s must be coprime (use safe primes)")
+    d = crt_pair(0, lam, 1, public.n_s)
+    return PrivateKey(public=public, p=p, q=q, d=d)
+
+
+def powers_of_g(public: PublicKey, a: int) -> int:
+    """Compute ``(1+n)^a mod n^{s+1}`` via binomial expansion.
+
+    ``(1+n)^a = Σ_{i=0}^{s} C(a, i)·n^i (mod n^{s+1})`` — only ``s + 1``
+    terms survive, making this dramatically cheaper than a modexp and the
+    dominant reason Paillier-family encryption is practical on a device.
+    """
+    n_s1 = public.n_s1
+    a %= public.n_s
+    result = 1
+    binomial = 1  # C(a, i) mod n^{s+1}, built incrementally
+    for i in range(1, public.s + 1):
+        binomial = binomial * ((a - i + 1) % n_s1) % n_s1
+        binomial = binomial * modinv(i, n_s1) % n_s1
+        result = (result + binomial * pow(public.n, i, n_s1)) % n_s1
+    return result
+
+
+def encrypt(
+    public: PublicKey,
+    plaintext: int,
+    rng: random.Random | None = None,
+    randomizer: int | None = None,
+) -> int:
+    """Encrypt ``plaintext ∈ Z_{n^s}`` under ``public``.
+
+    ``randomizer`` may be a pre-computed ``r^{n^s} mod n^{s+1}`` value (see
+    :func:`encrypt_zero_pool`) so bulk encryption amortizes the modexp.
+    """
+    if randomizer is None:
+        rng = rng or random.Random()
+        while True:
+            r = rng.randrange(1, public.n)
+            if gcd(r, public.n) == 1:
+                break
+        randomizer = pow(r, public.n_s, public.n_s1)
+    return powers_of_g(public, plaintext) * randomizer % public.n_s1
+
+
+def encrypt_zero_pool(public: PublicKey, count: int, rng: random.Random) -> list[int]:
+    """Pre-compute ``count`` fresh randomizers ``r^{n^s} mod n^{s+1}``.
+
+    Each is an encryption of zero; multiplying one into a deterministic
+    ``(1+n)^a`` yields a semantically-secure ciphertext.  Devices would do
+    this in idle time — the paper's Fig. 5(a) "Encrypt" cost is dominated by
+    exactly this modexp.
+    """
+    pool = []
+    for _ in range(count):
+        while True:
+            r = rng.randrange(1, public.n)
+            if gcd(r, public.n) == 1:
+                break
+        pool.append(pow(r, public.n_s, public.n_s1))
+    return pool
+
+
+def homomorphic_add(public: PublicKey, c1: int, c2: int) -> int:
+    """``E(a) +_h E(b) = E(a)·E(b) mod n^{s+1}`` (paper Sec. 3.3.1, item 4)."""
+    return c1 * c2 % public.n_s1
+
+
+def homomorphic_scalar_mul(public: PublicKey, ciphertext: int, scalar: int) -> int:
+    """``E(a) ×_h k = E(a)^k = E(k·a)``; negative scalars use the inverse."""
+    if scalar < 0:
+        ciphertext = modinv(ciphertext, public.n_s1)
+        scalar = -scalar
+    return pow(ciphertext, scalar, public.n_s1)
+
+
+def dlog_1_plus_n(public: PublicKey, u: int) -> int:
+    """Recover ``a`` from ``u = (1+n)^a mod n^{s+1}`` (Damgård–Jurik's dLog).
+
+    For ``s = 1`` this is the familiar Paillier ``L`` function
+    ``(u − 1) / n``; for larger ``s`` it runs the published recursive
+    lifting, reconstructing ``a mod n^j`` for ``j = 1..s``.
+    """
+    n = public.n
+    a = 0
+    for j in range(1, public.s + 1):
+        n_j = n**j
+        t1 = (u % n ** (j + 1) - 1) // n  # L(u mod n^{j+1})
+        t2 = a
+        i = a
+        for k in range(2, j + 1):
+            i -= 1
+            t2 = t2 * i % n_j
+            t1 = (t1 - t2 * pow(n, k - 1, n_j) * modinv(math.factorial(k), n_j)) % n_j
+        a = t1 % n_j
+    return a
+
+
+def decrypt(private: PrivateKey, ciphertext: int) -> int:
+    """Decrypt with the CRT exponent: ``c^d = (1+n)^a``, then extract ``a``."""
+    public = private.public
+    u = pow(ciphertext, private.d, public.n_s1)
+    return dlog_1_plus_n(public, u)

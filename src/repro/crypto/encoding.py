@@ -1,0 +1,86 @@
+"""Signed fixed-point encoding of real values into ``Z_{n^s}``.
+
+Time-series variables are reals (electricity in [0, 80] kWh, tumor size in
+[0, 50] mm) but Paillier-family plaintexts are residues.  We use the usual
+fixed-point embedding: ``encode(x) = round(x · 2^fractional_bits) mod n^s``
+with negatives wrapped into the upper half of the residue ring.
+
+Two properties matter for Chiaroscuro:
+
+* homomorphic *sums* of encodings are encodings of sums at the same scale,
+  so the EESum protocol never changes the scale;
+* the Alg. 2 update rule multiplies values by powers of two (the delayed
+  division); decoding therefore takes an explicit ``extra_shift`` so callers
+  can divide by ``2^{n_e}`` *after* decryption, exactly as the paper requires
+  ("any division of encrypted data is delayed until its decryption").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .keys import PublicKey
+
+__all__ = ["FixedPointCodec"]
+
+
+@dataclass(frozen=True)
+class FixedPointCodec:
+    """Encode/decode reals as fixed-point residues of ``Z_{n^s}``.
+
+    ``fractional_bits`` controls resolution (default 2⁻³² ≈ 2.3e-10);
+    ``headroom_bits`` asserts how much magnitude growth (population sums plus
+    the EESum 2^{n_e} scaling) the plaintext space must absorb before wrap-
+    around — :meth:`check_capacity` enforces it at protocol-setup time.
+    """
+
+    public: PublicKey
+    fractional_bits: int = 32
+
+    @property
+    def scale(self) -> int:
+        """Multiplicative fixed-point scale ``2^fractional_bits``."""
+        return 1 << self.fractional_bits
+
+    def encode(self, value: float) -> int:
+        """Encode a real as a residue; negatives wrap to the upper half."""
+        fixed = round(value * self.scale)
+        return fixed % self.public.n_s
+
+    def decode(self, residue: int, extra_shift: int = 0) -> float:
+        """Decode a residue back to a real.
+
+        ``extra_shift`` is the number of delayed halvings accumulated by the
+        EESum update rule (the value is divided by ``2^extra_shift`` on top
+        of the fixed-point scale).
+        """
+        n_s = self.public.n_s
+        residue %= n_s
+        if residue > n_s // 2:
+            residue -= n_s
+        return residue / float(self.scale) / float(1 << extra_shift)
+
+    def check_capacity(
+        self,
+        max_abs_value: float,
+        population: int,
+        exchanges: int,
+    ) -> None:
+        """Raise if a population-wide sum scaled by ``2^exchanges`` could wrap.
+
+        The worst-case plaintext magnitude in Chiaroscuro is
+        ``population · max_abs_value · 2^fractional_bits · 2^exchanges``
+        (all series summed into one cluster, fully scaled by the delayed
+        divisions); it must stay below ``n^s / 2`` to keep the signed
+        decoding unambiguous.
+        """
+        bound = (
+            int(max_abs_value * self.scale + 1) * population * (1 << exchanges)
+        )
+        if 2 * bound >= self.public.n_s:
+            raise ValueError(
+                "plaintext space too small: raise the key size or the "
+                "Damgård–Jurik expansion s, or lower fractional_bits "
+                f"(needed ~{bound.bit_length()} bits, "
+                f"have {self.public.n_s.bit_length() - 1})"
+            )

@@ -1,0 +1,187 @@
+"""Number-theoretic primitives for the Damgård–Jurik cryptosystem.
+
+Everything here operates on plain Python integers (arbitrary precision),
+which is what the paper's Java ``BigInteger`` implementation used.  The
+module provides:
+
+* Miller–Rabin probabilistic primality testing,
+* random prime and *safe prime* generation (``p = 2q + 1`` with ``q`` prime),
+* modular inverse / CRT helpers,
+* a fixture table of pre-generated safe primes so that tests and benchmarks
+  can build 256-bit to 1024-bit keys instantly (generating 512-bit safe
+  primes from scratch in pure Python takes minutes and adds nothing to the
+  reproduction -- the paper likewise fixes a single 1024-bit key).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "is_probable_prime",
+    "random_prime",
+    "random_safe_prime",
+    "fixture_safe_primes",
+    "modinv",
+    "crt_pair",
+    "lcm",
+]
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test with ``rounds`` witnesses.
+
+    The error probability is at most ``4**-rounds`` for composite ``n``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    rng = rng or random
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Return a random prime with exactly ``bits`` bits."""
+    if bits < 2:
+        raise ValueError("a prime needs at least 2 bits")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: random.Random) -> int:
+    """Return a random safe prime ``p = 2q + 1`` with exactly ``bits`` bits.
+
+    Safe primes are what the threshold variant of Damgård–Jurik requires:
+    with ``p = 2p' + 1`` and ``q = 2q' + 1``, the secret Shamir modulus is
+    ``m = p'q'``.
+    """
+    if bits < 4:
+        raise ValueError("a safe prime needs at least 4 bits")
+    while True:
+        q = rng.getrandbits(bits - 1) | (1 << (bits - 2)) | 1
+        if not is_probable_prime(q, rounds=20, rng=rng):
+            continue
+        p = 2 * q + 1
+        if is_probable_prime(p, rng=rng):
+            return p
+
+
+#: Pre-generated safe primes, keyed by bit length.  Generated offline with
+#: Miller–Rabin (40 rounds); see module docstring for why they are embedded.
+_SAFE_PRIME_FIXTURES: dict[int, list[int]] = {
+    64: [
+        14897046672217588199,
+        14178776599924588307,
+        15393115191447268427,
+        10458455445404678879,
+    ],
+    96: [
+        47222442388102515170836202243,
+        52774362830454563031515189039,
+        63052048229077480577613561203,
+        40501624764932308242761781599,
+    ],
+    128: [
+        220424696421893434127799946122096314987,
+        267502274774597202767012973212828797343,
+        312015602571053440305595457796093131603,
+        219573957808944365996801560228304190167,
+    ],
+    192: [
+        5880582777307843120827294707521675229618032528818619991027,
+        5183435659490334833677538252601765234946777894394001448439,
+        5964218080930234503322231867167178237274689845799549021199,
+        6139320963126055734501916747027323957058262864354110080479,
+    ],
+    256: [
+        82505111318128096585133210098176771300954997033852603878852767604005134515347,
+        108739848806812124297295309339910808516749669551044951104906414744007422811567,
+        67664754409348690685130775322563885554542438739014804579626224568851561366899,
+        79673430306924749542037436427271180033053000468781939662773672416414905879787,
+    ],
+    512: [
+        11534223474509878178987097692734071885360564624935332824811404002210801646364897441443711197338884711881052009160475476020935820788307623730764201346047267,
+        7927998207352882824249442586803189286311041565802118953489440128849634142062420355273077544646157871902872725897297622145628779732506863906765926562273903,
+        8902618841226777744087376015252960596822130929463558165775471057200643476867370673965452079050688822740064711760718600883759533800788613842821598646523739,
+        11656412083879556716356238818586996911779792073617729316841015719806471236162925040777059926007461641726332683874769440713171951622638274026554998855224679,
+    ],
+}
+
+
+def _register_fixtures(table: dict[int, list[int]]) -> None:
+    for bits, primes in table.items():
+        slot = _SAFE_PRIME_FIXTURES.setdefault(bits, [])
+        for p in primes:
+            if p not in slot:
+                slot.append(p)
+
+
+def fixture_safe_primes(bits: int, count: int = 2) -> list[int]:
+    """Return ``count`` distinct pre-generated safe primes of ``bits`` bits.
+
+    Raises ``KeyError`` if no fixture of that size exists (callers can fall
+    back to :func:`random_safe_prime`).
+    """
+    primes = _SAFE_PRIME_FIXTURES.get(bits, [])
+    if len(primes) < count:
+        raise KeyError(
+            f"no fixture with {count} safe primes of {bits} bits; "
+            f"available sizes: {sorted(_SAFE_PRIME_FIXTURES)}"
+        )
+    return primes[:count]
+
+
+def modinv(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m`` (raises if not invertible)."""
+    return pow(a, -1, m)
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Solve ``x ≡ r1 (mod m1)`` and ``x ≡ r2 (mod m2)`` for coprime moduli.
+
+    Used to build the Damgård–Jurik decryption exponent ``d`` with
+    ``d ≡ 0 (mod m)`` and ``d ≡ 1 (mod n^s)``.
+    """
+    g = gcd(m1, m2)
+    if g != 1:
+        raise ValueError("crt_pair requires coprime moduli")
+    inv = modinv(m1 % m2, m2)
+    x = r1 + m1 * ((r2 - r1) * inv % m2)
+    return x % (m1 * m2)
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor (non-negative)."""
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple."""
+    return a // gcd(a, b) * b

@@ -1,0 +1,101 @@
+"""Wire serialization for keys, ciphertexts and gossip payloads.
+
+The Fig. 5(b) bandwidth numbers assume a concrete wire format; this module
+pins one down so the byte accounting in :mod:`repro.analysis.costs` is
+grounded in actual encodable messages rather than bit-length arithmetic:
+
+* ciphertexts are fixed-width big-endian integers of
+  ``PublicKey.ciphertext_bytes`` bytes (constant width is what makes the
+  format — and the traffic — independent of the plaintext, a small but
+  real side-channel concern);
+* a means-set payload is a tiny header (k, n, ω, exchange counter) followed
+  by the ``k·(n+1)`` ciphertexts;
+* public keys serialize to ``(n, s)``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .keys import PublicKey
+
+__all__ = [
+    "ciphertext_to_bytes",
+    "ciphertext_from_bytes",
+    "public_key_to_bytes",
+    "public_key_from_bytes",
+    "means_payload_to_bytes",
+    "means_payload_from_bytes",
+]
+
+_HEADER = struct.Struct(">IIQI")  # k, n, omega, exchange counter
+
+
+def ciphertext_to_bytes(public: PublicKey, ciphertext: int) -> bytes:
+    """Fixed-width big-endian encoding of one ciphertext."""
+    if not 0 <= ciphertext < public.n_s1:
+        raise ValueError("ciphertext out of range for this key")
+    return ciphertext.to_bytes(public.ciphertext_bytes, "big")
+
+
+def ciphertext_from_bytes(public: PublicKey, payload: bytes) -> int:
+    """Inverse of :func:`ciphertext_to_bytes` (validates width and range)."""
+    if len(payload) != public.ciphertext_bytes:
+        raise ValueError(
+            f"expected {public.ciphertext_bytes} bytes, got {len(payload)}"
+        )
+    value = int.from_bytes(payload, "big")
+    if value >= public.n_s1:
+        raise ValueError("decoded ciphertext out of range")
+    return value
+
+
+def public_key_to_bytes(public: PublicKey) -> bytes:
+    """Serialize ``(n, s)``; ``g = n + 1`` is implicit."""
+    n_bytes = (public.n.bit_length() + 7) // 8
+    return struct.pack(">II", n_bytes, public.s) + public.n.to_bytes(n_bytes, "big")
+
+
+def public_key_from_bytes(payload: bytes) -> PublicKey:
+    """Inverse of :func:`public_key_to_bytes`."""
+    n_bytes, s = struct.unpack_from(">II", payload)
+    n = int.from_bytes(payload[8 : 8 + n_bytes], "big")
+    return PublicKey(n=n, s=s)
+
+
+def means_payload_to_bytes(
+    public: PublicKey,
+    ciphertexts: list[int],
+    k: int,
+    omega: int,
+    counter: int,
+) -> bytes:
+    """Encode one EESum exchange payload (the Diptych means panel).
+
+    ``len(ciphertexts)`` must be ``k·(n+1)`` for some series length n.
+    ω is capped at 64 bits in this format — the delayed-division scaling
+    keeps it at ``≤ 2^counter`` and practical counters stay ≪ 64.
+    """
+    if k < 1 or len(ciphertexts) % k != 0:
+        raise ValueError("ciphertext count must be a positive multiple of k")
+    n_plus_1 = len(ciphertexts) // k
+    header = _HEADER.pack(k, n_plus_1 - 1, omega, counter)
+    body = b"".join(ciphertext_to_bytes(public, c) for c in ciphertexts)
+    return header + body
+
+
+def means_payload_from_bytes(
+    public: PublicKey, payload: bytes
+) -> tuple[list[int], int, int, int]:
+    """Decode a means payload → (ciphertexts, k, ω, counter)."""
+    k, n, omega, counter = _HEADER.unpack_from(payload)
+    width = public.ciphertext_bytes
+    body = payload[_HEADER.size :]
+    expected = k * (n + 1) * width
+    if len(body) != expected:
+        raise ValueError(f"body length {len(body)} != expected {expected}")
+    ciphertexts = [
+        ciphertext_from_bytes(public, body[i * width : (i + 1) * width])
+        for i in range(k * (n + 1))
+    ]
+    return ciphertexts, k, omega, counter

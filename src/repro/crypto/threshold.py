@@ -1,0 +1,122 @@
+"""Non-interactive threshold decryption for Damgård–Jurik (Sec. 3.3.1, item 3).
+
+The decryption key is split into ``n_κ`` key-shares so that decrypting
+requires at least ``τ`` distinct *partial decryptions*, each computable
+independently — exactly the property the epidemic decryption protocol of
+Sec. 4.2.3 relies on: participants partially decrypt the (unique, converged)
+encrypted means at each gossip exchange and merge their sets of partial
+decryptions until ``τ`` distinct key-shares have been applied.
+
+The construction is the standard Shoup-style one from the Damgård–Jurik
+paper: with safe primes ``p = 2p' + 1`` and ``q = 2q' + 1``, the secret
+exponent ``d`` satisfies ``d ≡ 0 (mod m)`` and ``d ≡ 1 (mod n^s)`` where
+``m = p'q'``; it is Shamir-shared over ``Z_{n^s·m}``.  A partial decryption
+is ``c_i = c^{2Δd_i}``, and combining ``τ`` of them with integer Lagrange
+coefficients yields ``c^{4Δ²d} = (1+n)^{4Δ²·a}``, from which ``a`` is
+extracted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .damgard_jurik import dlog_1_plus_n
+from .keys import KeyShare, PrivateKey, PublicKey, ThresholdContext
+from .numtheory import crt_pair, fixture_safe_primes, modinv, random_safe_prime
+from .shamir import lagrange_at_zero, share_secret
+
+__all__ = [
+    "ThresholdKeypair",
+    "generate_threshold_keypair",
+    "partial_decrypt",
+    "combine_partial_decryptions",
+]
+
+
+@dataclass(frozen=True)
+class ThresholdKeypair:
+    """Everything the dealer produces: public key, context, and all shares.
+
+    In deployment the bootstrap server hands each participant its single
+    :class:`KeyShare` (footnote 4 of the paper); the full list exists only
+    here, dealer-side.  ``private`` is the equivalent non-threshold key,
+    kept for tests and for the centralized cost baseline.
+    """
+
+    context: ThresholdContext
+    shares: list[KeyShare]
+    private: PrivateKey
+
+    @property
+    def public(self) -> PublicKey:
+        return self.context.public
+
+
+def generate_threshold_keypair(
+    key_bits: int,
+    n_shares: int,
+    threshold: int,
+    s: int = 1,
+    rng: random.Random | None = None,
+    use_fixtures: bool = True,
+) -> ThresholdKeypair:
+    """Deal a threshold Damgård–Jurik key: ``n_shares`` shares, any ``threshold`` decrypt."""
+    rng = rng or random.Random()
+    half = key_bits // 2
+    if use_fixtures:
+        try:
+            p, q = fixture_safe_primes(half, count=2)
+        except KeyError:
+            p = random_safe_prime(half, rng)
+            q = random_safe_prime(half, rng)
+    else:
+        p = random_safe_prime(half, rng)
+        q = random_safe_prime(half, rng)
+    n = p * q
+    public = PublicKey(n=n, s=s)
+    m = (p - 1) // 2 * ((q - 1) // 2)
+    d = crt_pair(0, m, 1, public.n_s)
+    context = ThresholdContext(public=public, n_shares=n_shares, threshold=threshold)
+    shares = share_secret(d, public.n_s * m, n_shares, threshold, rng)
+    # d ≡ 0 (mod m) also satisfies d·2 ≡ 0 (mod λ = 2m) — for the plain
+    # PrivateKey we need d' ≡ 0 (mod λ(n)), d' ≡ 1 (mod n^s).
+    lam = 2 * m
+    d_plain = crt_pair(0, lam, 1, public.n_s)
+    private = PrivateKey(public=public, p=p, q=q, d=d_plain)
+    return ThresholdKeypair(context=context, shares=shares, private=private)
+
+
+def partial_decrypt(context: ThresholdContext, share: KeyShare, ciphertext: int) -> int:
+    """One participant's partial decryption ``c_i = c^{2Δ·d_i} mod n^{s+1}``."""
+    exponent = 2 * context.delta * share.value
+    return pow(ciphertext, exponent, context.public.n_s1)
+
+
+def combine_partial_decryptions(
+    context: ThresholdContext, partials: dict[int, int]
+) -> int:
+    """Combine ``τ`` (or more) partial decryptions into the plaintext.
+
+    ``partials`` maps share index → partial decryption of the *same*
+    ciphertext.  Any subset of size ``τ`` suffices; extras are ignored.
+    """
+    if len(partials) < context.threshold:
+        raise ValueError(
+            f"need {context.threshold} distinct partial decryptions, "
+            f"got {len(partials)}"
+        )
+    indices = sorted(partials)[: context.threshold]
+    coefficients = lagrange_at_zero(indices, context.delta)
+    public = context.public
+    combined = 1
+    for index in indices:
+        exponent = 2 * coefficients[index]
+        if exponent < 0:
+            factor = pow(modinv(partials[index], public.n_s1), -exponent, public.n_s1)
+        else:
+            factor = pow(partials[index], exponent, public.n_s1)
+        combined = combined * factor % public.n_s1
+    # combined == (1+n)^{4Δ²·a}; strip the 4Δ² factor in the exponent group.
+    raw = dlog_1_plus_n(public, combined)
+    return raw * modinv(4 * context.delta**2, public.n_s) % public.n_s

@@ -1,0 +1,19 @@
+"""Workload generators: CER-like electricity curves, NUMED-like tumor-growth
+series, the Appendix D 2-D points, and the TimeSeriesSet container.
+"""
+
+from .cer import ARCHETYPE_BUILDERS, courbogen_like_centroids, generate_cer
+from .numed import generate_numed, numed_profile
+from .points2d import generate_a3_like, generate_points2d
+from .timeseries import TimeSeriesSet
+
+__all__ = [
+    "ARCHETYPE_BUILDERS",
+    "TimeSeriesSet",
+    "courbogen_like_centroids",
+    "generate_a3_like",
+    "generate_cer",
+    "generate_numed",
+    "generate_points2d",
+    "numed_profile",
+]

@@ -1,0 +1,43 @@
+"""Gossip substrate: cycle-driven engine (the Peersim substitution),
+Newscast peer sampling, cleartext and encrypted epidemic sums, min-id
+dissemination, epidemic threshold decryption, churn models, and the
+vectorized large-population plane.
+"""
+
+from .aggregation import EpidemicSum
+from .churn import ChurnModel
+from .decryption import DecryptionState, EpidemicDecryption, TokenDecryption
+from .dissemination import MinIdDissemination
+from .eesum import EESum, EESumState
+from .engine import GossipEngine, Node
+from .metrics import LatencyFit, fit_linear, fit_logarithmic
+from .peer_sampling import NewscastView
+from .vectorized import (
+    PushPullSumSimulator,
+    SumErrorTrace,
+    dissemination_cycles,
+    messages_to_reach_error,
+    simulate_sum_error,
+)
+
+__all__ = [
+    "ChurnModel",
+    "DecryptionState",
+    "EESum",
+    "EESumState",
+    "EpidemicDecryption",
+    "EpidemicSum",
+    "GossipEngine",
+    "LatencyFit",
+    "MinIdDissemination",
+    "NewscastView",
+    "Node",
+    "PushPullSumSimulator",
+    "SumErrorTrace",
+    "TokenDecryption",
+    "dissemination_cycles",
+    "fit_linear",
+    "fit_logarithmic",
+    "messages_to_reach_error",
+    "simulate_sum_error",
+]

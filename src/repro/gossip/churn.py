@@ -1,0 +1,40 @@
+"""Churn models (Sec. 6.1.5).
+
+The paper models churn as a uniform disconnection probability applied
+(1) at each gossip exchange of the epidemic encrypted sum and (2) at each
+perturbed k-means iteration.  The engine consumes (1) directly through its
+``churn`` parameter; this module packages both knobs plus a convenience for
+drawing per-iteration availability masks used by the quality plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ChurnModel"]
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Disconnection probabilities for the two churn surfaces of Sec. 6.1.5."""
+
+    per_exchange: float = 0.0
+    per_iteration: float = 0.0
+
+    def __post_init__(self) -> None:
+        for value in (self.per_exchange, self.per_iteration):
+            if not 0.0 <= value < 1.0:
+                raise ValueError("churn probabilities must be in [0, 1)")
+
+    def iteration_mask(self, population: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean availability mask for one k-means iteration.
+
+        Guarantees at least one participant stays online (an empty
+        population would be a different failure mode than churn).
+        """
+        mask = rng.random(population) >= self.per_iteration
+        if not mask.any():
+            mask[rng.integers(population)] = True
+        return mask

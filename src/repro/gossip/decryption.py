@@ -1,0 +1,152 @@
+"""Epidemic threshold decryption (Sec. 4.2.3).
+
+Each participant holds (a) its converged encrypted vector and (b) one
+private key-share with a random key-share identifier.  During an exchange:
+
+1. **replacement** — the less-advanced side (fewer distinct key-shares
+   applied) discards its partially-decrypted state and adopts the more
+   advanced side's, the latency optimization the paper describes;
+2. **mutual partial decryption** — each side applies its own key-share to
+   the other's vector if that identifier is not present yet.
+
+A node stops once ``τ`` distinct key-shares have been applied; it then
+combines the partial decryptions locally (Shoup combination, see
+:mod:`repro.crypto.threshold`).
+
+Two planes share this module:
+
+* :class:`EpidemicDecryption` — the real-crypto protocol used by the full
+  Chiaroscuro execution;
+* :class:`TokenDecryption` — a crypto-free twin that moves only key-share
+  *identifiers*, used for the Fig. 4(b) latency sweeps where only message
+  counts matter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..crypto.keys import KeyShare, ThresholdContext
+from ..crypto.threshold import combine_partial_decryptions, partial_decrypt
+from .engine import GossipProtocol, Node
+
+__all__ = ["DecryptionState", "EpidemicDecryption", "TokenDecryption"]
+
+_STATE = "eedec"
+
+
+@dataclass
+class DecryptionState:
+    """A node's decryption bundle: vector, weight, and per-element partials."""
+
+    ciphertexts: list[int]
+    omega: int
+    partials: dict[int, list[int]] = field(default_factory=dict)  # share idx → vec
+
+    @property
+    def n_shares_applied(self) -> int:
+        return len(self.partials)
+
+
+class EpidemicDecryption(GossipProtocol):
+    """Real threshold decryption over the gossip stream.
+
+    ``bundles`` maps node id → (ciphertext vector, scaled weight ω); these
+    are the converged EESum outputs (estimates are equal across nodes up to
+    the gossip approximation error, so the replacement step is sound).
+    ``shares`` maps node id → its :class:`KeyShare`.
+    """
+
+    def __init__(
+        self,
+        context: ThresholdContext,
+        bundles: dict[int, tuple[list[int], int]],
+        shares: dict[int, KeyShare],
+    ) -> None:
+        self.context = context
+        self.bundles = bundles
+        self.shares = shares
+
+    def setup(self, node: Node, rng: random.Random) -> None:
+        ciphertexts, omega = self.bundles[node.node_id]
+        state = DecryptionState(list(ciphertexts), omega)
+        self._apply_share(state, self.shares[node.node_id])
+        node.state[_STATE] = state
+
+    def state_of(self, node: Node) -> DecryptionState:
+        return node.state[_STATE]
+
+    def _apply_share(self, state: DecryptionState, share: KeyShare) -> None:
+        if share.index in state.partials:
+            return
+        if state.n_shares_applied >= self.context.threshold:
+            return
+        state.partials[share.index] = [
+            partial_decrypt(self.context, share, c) for c in state.ciphertexts
+        ]
+
+    def exchange(self, initiator: Node, contact: Node, rng: random.Random) -> None:
+        a, b = self.state_of(initiator), self.state_of(contact)
+        # Replacement: the laggard adopts the leader's bundle wholesale.
+        if a.n_shares_applied != b.n_shares_applied:
+            lag, lead = (a, b) if a.n_shares_applied < b.n_shares_applied else (b, a)
+            lag.ciphertexts = list(lead.ciphertexts)
+            lag.omega = lead.omega
+            lag.partials = {idx: list(vec) for idx, vec in lead.partials.items()}
+        self._apply_share(a, self.shares[contact.node_id])
+        self._apply_share(b, self.shares[initiator.node_id])
+
+    def is_done(self, node: Node) -> bool:
+        """Stopping criterion: τ distinct key-shares applied."""
+        return self.state_of(node).n_shares_applied >= self.context.threshold
+
+    def all_done(self, nodes: list[Node]) -> bool:
+        return all(self.is_done(node) for node in nodes)
+
+    def plaintexts_of(self, node: Node) -> tuple[list[int], int]:
+        """Combine the node's partials into plaintext residues (plus ω)."""
+        state = self.state_of(node)
+        if state.n_shares_applied < self.context.threshold:
+            raise RuntimeError("node has not collected enough key-shares yet")
+        plaintexts = []
+        for element in range(len(state.ciphertexts)):
+            partials = {idx: vec[element] for idx, vec in state.partials.items()}
+            plaintexts.append(combine_partial_decryptions(self.context, partials))
+        return plaintexts, state.omega
+
+
+class TokenDecryption(GossipProtocol):
+    """Crypto-free twin for latency sweeps: moves identifier sets only.
+
+    Each node's key-share identifier is its node id; states are plain sets.
+    Message accounting is inherited from the engine (exchanges per node).
+    """
+
+    def __init__(self, threshold_count: int) -> None:
+        if threshold_count < 1:
+            raise ValueError("threshold_count must be >= 1")
+        self.threshold_count = threshold_count
+
+    def setup(self, node: Node, rng: random.Random) -> None:
+        node.state[_STATE] = {node.node_id}
+
+    def exchange(self, initiator: Node, contact: Node, rng: random.Random) -> None:
+        a: set[int] = initiator.state[_STATE]
+        b: set[int] = contact.state[_STATE]
+        if len(a) != len(b):
+            lag, lead = (a, b) if len(a) < len(b) else (b, a)
+            lag.clear()
+            lag.update(lead)
+            # ``a``/``b`` aliases still point at the same set objects.
+        if len(a) < self.threshold_count:
+            a.add(contact.node_id)
+        if len(b) < self.threshold_count:
+            b.add(initiator.node_id)
+
+    def is_done(self, node: Node) -> bool:
+        return len(node.state[_STATE]) >= self.threshold_count
+
+    def fraction_done(self, nodes: list[Node]) -> float:
+        done = sum(1 for node in nodes if self.is_done(node))
+        return done / len(nodes)

@@ -1,0 +1,97 @@
+"""EESum — the encrypted epidemic sum (Sec. 4.2.1, Algorithm 2).
+
+Homomorphic ciphertexts support additions and scalar multiplications but no
+divisions, so the push–pull averaging rule ("each keeps half") cannot be
+applied directly.  Algorithm 2 *delays every division*: a node's encrypted
+value is the cleartext algorithm's value scaled by ``2^{n_l}``, where
+``n_l`` is its exchange count.  On an exchange the less-advanced side is
+scaled up by ``2^{|n_r − n_l|}`` (a homomorphic scalar multiplication),
+the two values are added homomorphically, and both counters move to
+``max(n_l, n_r) + 1``.  Appendix C.2.1 proves this is arithmetically
+equivalent to the cleartext rule; ``tests/gossip`` re-proves it by shadow
+execution.
+
+The protocol carries a whole *vector* of ciphertexts (the k×(n+1) Diptych
+means plus, optionally, the noise vector) under a single shared counter, so
+parallel sums stay scale-aligned — which is what lets Alg. 3 add the
+encrypted noise to the encrypted means at the end.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..crypto.damgard_jurik import homomorphic_add, homomorphic_scalar_mul
+from ..crypto.keys import PublicKey
+from .engine import GossipProtocol, Node
+
+__all__ = ["EESum", "EESumState"]
+
+_STATE = "eesum"
+
+
+class EESumState:
+    """One node's EESum state: ciphertext vector, clear weight, counter."""
+
+    __slots__ = ("ciphertexts", "omega", "count")
+
+    def __init__(self, ciphertexts: list[int], omega: int) -> None:
+        self.ciphertexts = ciphertexts
+        self.omega = omega  # kept scaled: integer ω·2^{count}
+        self.count = 0
+
+
+class EESum(GossipProtocol):
+    """Algorithm 2 over a vector of Damgård–Jurik ciphertexts.
+
+    ``initial`` maps node id → list of ciphertexts (all nodes must supply
+    vectors of equal length).  ``weight_holder`` starts with ω = 1
+    (footnote 5).  After convergence, a node's estimate of the global sum
+    of element ``j`` is ``decrypt(c_j) / omega`` — both carry the same
+    ``2^{count}`` scale, so the ratio needs no descaling; alternatively
+    callers divide two decrypted elements (sum/count) and the scale cancels
+    likewise, as in Alg. 3.
+    """
+
+    def __init__(
+        self,
+        public: PublicKey,
+        initial: dict[int, list[int]],
+        weight_holder: int = 0,
+    ) -> None:
+        self.public = public
+        self.initial = initial
+        self.weight_holder = weight_holder
+
+    def setup(self, node: Node, rng: random.Random) -> None:
+        ciphertexts = list(self.initial[node.node_id])
+        omega = 1 if node.node_id == self.weight_holder else 0
+        node.state[_STATE] = EESumState(ciphertexts, omega)
+
+    def state_of(self, node: Node) -> EESumState:
+        """Access a node's EESum state."""
+        return node.state[_STATE]
+
+    def exchange(self, initiator: Node, contact: Node, rng: random.Random) -> None:
+        a = self.state_of(initiator)
+        b = self.state_of(contact)
+        if len(a.ciphertexts) != len(b.ciphertexts):
+            raise ValueError("EESum vectors must have equal length")
+        if a.count != b.count:
+            # Scale the less-advanced side up by 2^{difference} (Alg. 2 l.1-5).
+            low, high = (a, b) if a.count < b.count else (b, a)
+            factor = 1 << (high.count - low.count)
+            low.ciphertexts = [
+                homomorphic_scalar_mul(self.public, c, factor) for c in low.ciphertexts
+            ]
+            low.omega *= factor
+        merged = [
+            homomorphic_add(self.public, ca, cb)
+            for ca, cb in zip(a.ciphertexts, b.ciphertexts)
+        ]
+        omega = a.omega + b.omega
+        count = max(a.count, b.count) + 1
+        for side in (a, b):
+            side.ciphertexts = list(merged)
+            side.omega = omega
+            side.count = count

@@ -1,0 +1,50 @@
+"""Small measurement helpers shared by the gossip experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LatencyFit", "fit_logarithmic", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class LatencyFit:
+    """A fitted latency model ``y = intercept + slope · f(x)``."""
+
+    slope: float
+    intercept: float
+    transform: str  # "log" or "identity"
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted model at ``x``."""
+        value = math.log(x) if self.transform == "log" else x
+        return self.intercept + self.slope * value
+
+
+def fit_logarithmic(xs: list[float], ys: list[float]) -> LatencyFit:
+    """Least-squares fit of ``y = a + b·ln(x)``.
+
+    Used to extrapolate the Fig. 4(a) message counts to 10⁶ participants —
+    the paper observes the logarithmic growth and extrapolates the same way.
+    """
+    return _fit([math.log(x) for x in xs], ys, "log")
+
+
+def fit_linear(xs: list[float], ys: list[float]) -> LatencyFit:
+    """Least-squares fit of ``y = a + b·x`` (Fig. 4(b)'s linear curves)."""
+    return _fit(list(xs), ys, "identity")
+
+
+def _fit(xs: list[float], ys: list[float], transform: str) -> LatencyFit:
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        raise ValueError("degenerate fit: all x equal")
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov / var_x
+    return LatencyFit(slope=slope, intercept=mean_y - slope * mean_x, transform=transform)

@@ -1,0 +1,65 @@
+"""Newscast-style peer sampling (Sec. 3.2, connectivity layer of App. B).
+
+Each node keeps a *local view* Λ of ``view_size`` (peer id, age) entries.
+On an exchange both parties merge their views plus each other's fresh
+descriptor and keep the youngest ``view_size`` entries — the mechanism
+that gives gossip its robustness to failures [25].
+
+The main engine approximates a *converged* Newscast overlay with uniform
+sampling (standard practice); this protocol exists to (a) bootstrap views
+from an arbitrary initial topology and (b) let tests verify that the view
+dynamics indeed mix toward uniform-looking samples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .engine import GossipProtocol, Node
+
+__all__ = ["NewscastView"]
+
+_STATE = "newscast"
+
+
+class NewscastView(GossipProtocol):
+    """Maintains the (peer, age) views; exposes sampling from the view."""
+
+    def __init__(self, n_nodes: int, view_size: int = 30) -> None:
+        self.n_nodes = n_nodes
+        self.view_size = view_size
+
+    def setup(self, node: Node, rng: random.Random) -> None:
+        peers = [p for p in range(self.n_nodes) if p != node.node_id]
+        sample = rng.sample(peers, min(self.view_size, len(peers)))
+        node.state[_STATE] = {peer: 0 for peer in sample}
+
+    def view_of(self, node: Node) -> dict[int, int]:
+        """The node's current view: peer id → age."""
+        return node.state[_STATE]
+
+    def sample_contact(self, node: Node, rng: random.Random) -> int | None:
+        """Draw a random peer from the node's view (None if empty)."""
+        view = node.state[_STATE]
+        if not view:
+            return None
+        return rng.choice(list(view))
+
+    def exchange(self, initiator: Node, contact: Node, rng: random.Random) -> None:
+        # Merge the two views, aging every pre-existing entry by one…
+        merged: dict[int, int] = {}
+        for view in (self.view_of(contact), self.view_of(initiator)):
+            for peer, age in view.items():
+                aged = age + 1
+                if peer not in merged or aged < merged[peer]:
+                    merged[peer] = aged
+        # …then inject the two parties' fresh descriptors (age 0), which by
+        # construction win the freshness truncation below.
+        merged[initiator.node_id] = 0
+        merged[contact.node_id] = 0
+        for party in (initiator, contact):
+            candidate = {
+                peer: age for peer, age in merged.items() if peer != party.node_id
+            }
+            youngest = sorted(candidate.items(), key=lambda item: item[1])
+            party.state[_STATE] = dict(youngest[: self.view_size])

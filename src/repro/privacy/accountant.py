@@ -1,0 +1,64 @@
+"""Privacy-budget ledger with sequential-composition accounting.
+
+(ε, δ)-probabilistic differential privacy composes like the paper states
+(Sec. 3.3.2): ``n`` independent aggregates with budgets ``ε_i`` and
+probability ``δ`` each satisfy ``(Σ ε_i, δ^n)``-probabilistic DP.  The
+accountant enforces a hard ceiling on ``Σ ε_i`` and tracks the δ exponent so
+callers can read off the global guarantee actually spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PrivacyAccountant", "BudgetOverrun"]
+
+
+class BudgetOverrun(RuntimeError):
+    """Raised when a charge would push spent ε past the global budget."""
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks ε spending and δ composition across released aggregates.
+
+    ``tolerance`` absorbs float round-off in schedules that sum to exactly
+    ε (e.g. UNIFORM_FAST's ``n · ε/n``).
+    """
+
+    epsilon_budget: float
+    delta_atom: float = 1.0
+    tolerance: float = 1e-9
+    spent: float = field(default=0.0, init=False)
+    releases: int = field(default=0, init=False)
+
+    def charge(self, epsilon: float, n_values: int = 1) -> None:
+        """Record the release of ``n_values`` aggregates at level ``epsilon`` each.
+
+        Chiaroscuro charges ``k·(n+1)`` values per iteration — one Laplace
+        variable per mean dimension plus one per count — but because one
+        individual's series lands in exactly *one* cluster, the per-release
+        ε here is the per-iteration budget, not ``k`` times it (parallel
+        composition across clusters; sequential across iterations).
+        """
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if n_values < 1:
+            raise ValueError("n_values must be >= 1")
+        if self.spent + epsilon > self.epsilon_budget + self.tolerance:
+            raise BudgetOverrun(
+                f"charging ε={epsilon:.6g} would exceed budget "
+                f"{self.epsilon_budget:.6g} (already spent {self.spent:.6g})"
+            )
+        self.spent += epsilon
+        self.releases += n_values
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available (never negative)."""
+        return max(0.0, self.epsilon_budget - self.spent)
+
+    @property
+    def delta_global(self) -> float:
+        """Composed probability ``δ_atom^releases`` of the guarantee holding."""
+        return self.delta_atom**self.releases

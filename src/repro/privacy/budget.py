@@ -1,0 +1,138 @@
+"""Privacy-budget concentration strategies (Sec. 5.1).
+
+k-means has a logarithmic error-loss rate: the big quality gains happen in
+the first iterations.  Chiaroscuro therefore *concentrates* the (ε, δ)
+budget early instead of spreading it uniformly over a pessimistic iteration
+estimate.  The paper proposes three proof-of-concept strategies, all
+implemented here behind one small interface:
+
+* ``GREEDY`` (G)        — iteration ``i`` gets ``ε / 2^i`` (``Σ 1/2^i ≤ 1``);
+* ``GREEDY_FLOOR`` (GF) — GREEDY by *floors* of ``f`` iterations: each of the
+  first ``f`` iterations gets ``ε/(2f)``, each of the next ``f`` gets
+  ``ε/(2²f)``, and so on;
+* ``UNIFORM_FAST`` (UF) — ``ε / n_it`` for a hard-bounded ``n_it`` iterations.
+
+Strategies are 1-indexed like the paper; asking for an iteration beyond a
+UF strategy's bound raises :class:`BudgetExhausted`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "BudgetExhausted",
+    "BudgetStrategy",
+    "Greedy",
+    "GreedyFloor",
+    "UniformFast",
+    "strategy_from_name",
+]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a strategy has no budget left for the requested iteration."""
+
+
+class BudgetStrategy(ABC):
+    """Assignment of the privacy budget ε across k-means iterations."""
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+
+    @abstractmethod
+    def epsilon_for(self, iteration: int) -> float:
+        """Budget assigned to 1-indexed ``iteration``."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short name used in experiment labels (e.g. ``"G"``)."""
+
+    def max_iterations(self) -> int | None:
+        """Hard iteration bound, or ``None`` when only ``n_it^max`` applies."""
+        return None
+
+    def schedule(self, n_iterations: int) -> list[float]:
+        """The per-iteration assignments for ``n_iterations`` iterations."""
+        return [self.epsilon_for(i) for i in range(1, n_iterations + 1)]
+
+    def _check_iteration(self, iteration: int) -> None:
+        if iteration < 1:
+            raise ValueError("iterations are 1-indexed")
+        bound = self.max_iterations()
+        if bound is not None and iteration > bound:
+            raise BudgetExhausted(
+                f"{self.name} allows at most {bound} iterations, asked for {iteration}"
+            )
+
+
+class Greedy(BudgetStrategy):
+    """GREEDY: exponential decrease, ``ε/2^i`` for iteration ``i``."""
+
+    @property
+    def name(self) -> str:
+        return "G"
+
+    def epsilon_for(self, iteration: int) -> float:
+        self._check_iteration(iteration)
+        return self.epsilon / (2.0**iteration)
+
+
+class GreedyFloor(BudgetStrategy):
+    """GREEDY_FLOOR: GREEDY spread over floors of ``floor_size`` iterations."""
+
+    def __init__(self, epsilon: float, floor_size: int = 4) -> None:
+        super().__init__(epsilon)
+        if floor_size < 1:
+            raise ValueError("floor_size must be >= 1")
+        self.floor_size = floor_size
+
+    @property
+    def name(self) -> str:
+        return "GF"
+
+    def epsilon_for(self, iteration: int) -> float:
+        self._check_iteration(iteration)
+        floor = (iteration - 1) // self.floor_size + 1
+        return self.epsilon / (2.0**floor * self.floor_size)
+
+
+class UniformFast(BudgetStrategy):
+    """UNIFORM_FAST: uniform split over a strongly-limited iteration count."""
+
+    def __init__(self, epsilon: float, n_iterations: int = 5) -> None:
+        super().__init__(epsilon)
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        self.n_iterations = n_iterations
+
+    @property
+    def name(self) -> str:
+        return f"UF{self.n_iterations}"
+
+    def max_iterations(self) -> int | None:
+        return self.n_iterations
+
+    def epsilon_for(self, iteration: int) -> float:
+        self._check_iteration(iteration)
+        return self.epsilon / self.n_iterations
+
+
+def strategy_from_name(
+    name: str, epsilon: float, floor_size: int = 4, uf_iterations: int = 5
+) -> BudgetStrategy:
+    """Build a strategy from its paper label (``"G"``, ``"GF"``, ``"UF"``)."""
+    label = name.upper()
+    if label == "G":
+        return Greedy(epsilon)
+    if label == "GF":
+        return GreedyFloor(epsilon, floor_size=floor_size)
+    if label.startswith("UF"):
+        if len(label) > 2:
+            uf_iterations = int(label[2:])
+        return UniformFast(epsilon, n_iterations=uf_iterations)
+    raise ValueError(f"unknown budget strategy {name!r}")

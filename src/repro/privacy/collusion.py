@@ -1,0 +1,65 @@
+"""Collusion-resistance calculators (Appendix B.3).
+
+Compromising a participant essentially discloses its key-share and its
+noise-share.  The appendix argues:
+
+* key-shares: fewer than ``τ`` shares reveal nothing about the secret
+  polynomial;
+* noise-shares: with ``n_p`` participants and ``c`` collusions, the fraction
+  of the total noise still secret decreases *linearly* in ``c`` —
+  ``(n_p − c) / n_p`` of the noise-shares remain unknown.
+
+These helpers quantify both, and give the residual Laplace-divisibility
+scale of the unknown noise remainder (a sum of ``n_p − c`` gamma-difference
+shares), which is what an attacker would have to overcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CollusionAnalysis"]
+
+
+@dataclass(frozen=True)
+class CollusionAnalysis:
+    """Uncertainty left to a coalition of ``collusions`` participants."""
+
+    population: int
+    n_shares: int
+    threshold: int
+    collusions: int
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ValueError("population must be >= 1")
+        if not 0 <= self.collusions <= self.population:
+            raise ValueError("collusions must be within the population")
+        if not 1 <= self.threshold <= self.n_shares:
+            raise ValueError("need 1 <= threshold <= n_shares")
+
+    @property
+    def key_compromised(self) -> bool:
+        """True when the coalition holds enough key-shares to decrypt alone."""
+        return self.collusions >= self.threshold
+
+    @property
+    def missing_key_shares(self) -> int:
+        """Key-shares the coalition still lacks to reach the threshold τ."""
+        return max(0, self.threshold - self.collusions)
+
+    @property
+    def unknown_noise_fraction(self) -> float:
+        """Fraction of noise-shares outside the coalition (linear decay, App. B.3)."""
+        return (self.population - self.collusions) / self.population
+
+    def residual_noise_shape(self) -> float:
+        """Gamma shape of the unknown noise remainder.
+
+        The total noise is a sum of ``n_p`` shares, each a difference of
+        ``Gamma(1/n_p, λ)`` pairs; subtracting the coalition's ``c`` known
+        shares leaves a ``Gamma((n_p − c)/n_p, λ)`` difference — shape < 1
+        means the residual is still heavy at zero but its tails stay
+        λ-scaled, i.e. the subtraction never collapses the perturbation.
+        """
+        return (self.population - self.collusions) / self.population

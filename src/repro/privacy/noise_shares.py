@@ -1,0 +1,81 @@
+"""Divisible Laplace noise-shares (Def. 5 / Lemma 1).
+
+The Laplace distribution is infinitely divisible: ``L(λ)`` equals in
+distribution the sum of ``n_ν`` i.i.d. noise-shares
+``ν_i = G1(n_ν, λ) − G2(n_ν, λ)`` where ``G1, G2`` are Gamma variables with
+shape ``1/n_ν`` and scale ``λ``.  Each Chiaroscuro participant samples its
+own share locally, encrypts it, and the EESum protocol adds the shares —
+no single participant ever knows the total noise (which is part of the
+secret set Ξ).
+
+This module also implements the *surplus correction* of Sec. 4.2.2: when
+the actual number of contributors ``ctr`` exceeds the assumed ``n_ν``, each
+participant proposes ``cor = Σ_{ctr−n_ν} GenNoise(ε, n_ν)`` and the
+min-identifier dissemination picks a unique one to subtract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gen_noise_share", "gen_noise_shares", "surplus_correction", "sum_of_shares"]
+
+
+def gen_noise_share(
+    n_shares: int, scale: float, rng: np.random.Generator, size: int | tuple[int, ...] = 1
+) -> np.ndarray:
+    """Sample ``GenNoise``: one noise-share per output element (Def. 5).
+
+    Each element is ``G1 − G2`` with ``G1, G2 ~ Gamma(1/n_shares, scale)``
+    i.i.d.; summing ``n_shares`` independent such elements is exactly
+    ``Laplace(0, scale)``.
+    """
+    if n_shares < 1:
+        raise ValueError("n_shares must be >= 1")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    shape = 1.0 / n_shares
+    g1 = rng.gamma(shape, scale, size=size)
+    g2 = rng.gamma(shape, scale, size=size)
+    return g1 - g2
+
+
+def gen_noise_shares(
+    n_participants: int,
+    n_shares: int,
+    scale: float,
+    rng: np.random.Generator,
+    dimensions: int,
+) -> np.ndarray:
+    """Sample the shares of ``n_participants`` nodes, each ``dimensions``-wide.
+
+    Returns an array of shape ``(n_participants, dimensions)``; column sums
+    over any ``n_shares`` rows are Laplace-distributed.
+    """
+    return gen_noise_share(n_shares, scale, rng, size=(n_participants, dimensions))
+
+
+def sum_of_shares(shares: np.ndarray) -> np.ndarray:
+    """Dimension-wise sum of a share matrix — the value EESum converges to."""
+    return np.asarray(shares).sum(axis=0)
+
+
+def surplus_correction(
+    actual_contributors: int,
+    n_shares: int,
+    scale: float,
+    rng: np.random.Generator,
+    dimensions: int,
+) -> np.ndarray:
+    """The correction vector a participant proposes when ``ctr > n_ν``.
+
+    It is a sum of ``ctr − n_ν`` freshly-drawn noise-shares (Sec. 4.2.2);
+    subtracting it leaves, in distribution, a sum of exactly ``n_ν`` shares,
+    i.e. a genuine ``Laplace(0, scale)`` sample.  Returns the zero vector
+    when there is no surplus.
+    """
+    surplus = actual_contributors - n_shares
+    if surplus <= 0:
+        return np.zeros(dimensions)
+    shares = gen_noise_share(n_shares, scale, rng, size=(surplus, dimensions))
+    return shares.sum(axis=0)

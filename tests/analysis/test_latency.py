@@ -1,0 +1,52 @@
+"""Tests for the Sec. 6.3.2 latency composition."""
+
+import pytest
+
+from repro.analysis import IterationLatency, LatencyInputs, LocalCostModel, iteration_latency
+from repro.crypto.keys import PublicKey
+
+
+@pytest.fixture()
+def model_1024():
+    return LocalCostModel(PublicKey(n=(1 << 1023) + 1, s=1), k=50, series_length=20)
+
+
+@pytest.fixture()
+def paper_inputs():
+    """Order-of-magnitude inputs from the paper's own measurements."""
+    return LatencyInputs(
+        sum_messages_per_node=100.0,
+        dissemination_messages_per_node=50.0,
+        decryption_messages_per_node=100.0,
+        encrypt_seconds=2.0,
+        add_seconds=0.08,
+        decrypt_seconds=8.0,
+        bandwidth_bits_per_s=1e6,
+    )
+
+
+class TestComposition:
+    def test_message_total(self, model_1024, paper_inputs):
+        latency = iteration_latency(model_1024, paper_inputs)
+        # 2 sums + 1 dissemination + 1 decryption
+        assert latency.messages_per_node == pytest.approx(2 * 100 + 50 + 100)
+
+    def test_paper_narrative_shape(self, model_1024, paper_inputs):
+        """First iteration tens of minutes; a 60 %-lost fifth iteration is
+        substantially cheaper (the paper: ~26 min → ~10 min)."""
+        first = iteration_latency(model_1024, paper_inputs, alive_fraction=1.0)
+        fifth = iteration_latency(model_1024, paper_inputs, alive_fraction=0.4)
+        assert 5 <= first.total_minutes <= 120
+        assert fifth.total_seconds == pytest.approx(first.total_seconds * 0.4, rel=1e-6)
+
+    def test_components_positive(self, model_1024, paper_inputs):
+        latency = iteration_latency(model_1024, paper_inputs)
+        assert latency.transfer_seconds > 0
+        assert latency.compute_seconds > 0
+        assert latency.total_seconds == pytest.approx(
+            latency.transfer_seconds + latency.compute_seconds
+        )
+
+    def test_alive_fraction_validation(self, model_1024, paper_inputs):
+        with pytest.raises(ValueError):
+            iteration_latency(model_1024, paper_inputs, alive_fraction=0.0)

@@ -1,0 +1,74 @@
+"""Tests for the distance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.clustering import assign_to_closest, pairwise_sq_euclidean, squared_euclidean
+
+
+class TestSquaredEuclidean:
+    def test_known_value(self):
+        assert squared_euclidean([0, 0], [3, 4]) == pytest.approx(25.0)
+
+    def test_zero_distance(self):
+        assert squared_euclidean([1.5, -2.5], [1.5, -2.5]) == 0.0
+
+    def test_symmetry(self):
+        a, b = np.array([1.0, 2.0, 3.0]), np.array([-1.0, 0.5, 2.0])
+        assert squared_euclidean(a, b) == pytest.approx(squared_euclidean(b, a))
+
+
+class TestPairwise:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=(20, 6))
+        centroids = rng.normal(size=(4, 6))
+        fast = pairwise_sq_euclidean(series, centroids)
+        naive = np.array(
+            [[squared_euclidean(s, c) for c in centroids] for s in series]
+        )
+        assert np.allclose(fast, naive)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=(50, 3)) * 1e6  # stress the expansion formula
+        distances = pairwise_sq_euclidean(series, series[:5])
+        assert (distances >= 0).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        series=hnp.arrays(
+            np.float64, (7, 4), elements=st.floats(-100, 100, allow_nan=False)
+        ),
+        centroids=hnp.arrays(
+            np.float64, (3, 4), elements=st.floats(-100, 100, allow_nan=False)
+        ),
+    )
+    def test_pairwise_property(self, series, centroids):
+        fast = pairwise_sq_euclidean(series, centroids)
+        naive = ((series[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(fast, naive, atol=1e-6)
+
+
+class TestAssignment:
+    def test_obvious_assignment(self):
+        series = np.array([[0.0, 0.0], [10.0, 10.0]])
+        centroids = np.array([[0.5, 0.5], [9.0, 9.0]])
+        assert assign_to_closest(series, centroids).tolist() == [0, 1]
+
+    def test_chunked_equals_unchunked(self):
+        rng = np.random.default_rng(2)
+        series = rng.normal(size=(1000, 5))
+        centroids = rng.normal(size=(7, 5))
+        small = assign_to_closest(series, centroids, chunk_size=64)
+        big = assign_to_closest(series, centroids, chunk_size=10**6)
+        assert (small == big).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            assign_to_closest(np.zeros((3, 2)), np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            assign_to_closest(np.zeros(3), np.zeros((2, 3)))

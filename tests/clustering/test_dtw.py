@@ -1,0 +1,76 @@
+"""Tests for the DTW extension."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import dba_mean, dtw_assign, dtw_distance, dtw_path
+
+
+class TestDTWDistance:
+    def test_identical_series(self):
+        s = np.array([1.0, 2.0, 3.0, 2.0])
+        assert dtw_distance(s, s) == 0.0
+
+    def test_shifted_series_cheaper_than_euclidean(self):
+        """DTW absorbs a time shift that Euclidean distance punishes."""
+        a = np.array([0, 0, 1, 5, 1, 0, 0, 0], dtype=float)
+        b = np.array([0, 0, 0, 1, 5, 1, 0, 0], dtype=float)
+        euclid = float(np.linalg.norm(a - b))
+        assert dtw_distance(a, b) < euclid
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=10), rng.normal(size=12)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_window_constrains(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=15), rng.normal(size=15)
+        unconstrained = dtw_distance(a, b)
+        banded = dtw_distance(a, b, window=1)
+        assert banded >= unconstrained - 1e-12
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((2, 2)), np.zeros(4))
+
+
+class TestDTWPath:
+    def test_path_endpoints_and_monotone(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=8), rng.normal(size=6)
+        path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (7, 5)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert 0 <= i2 - i1 <= 1 and 0 <= j2 - j1 <= 1
+
+    def test_path_cost_matches_distance(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=7), rng.normal(size=7)
+        path = dtw_path(a, b)
+        cost = sum((a[i] - b[j]) ** 2 for i, j in path)
+        assert np.sqrt(cost) == pytest.approx(dtw_distance(a, b))
+
+
+class TestDTWClustering:
+    def test_assignment(self):
+        flat = np.zeros(10)
+        peak = np.concatenate([np.zeros(4), [5.0, 5.0], np.zeros(4)])
+        series = np.array([flat + 0.1, peak * 1.1, flat - 0.1, np.roll(peak, 1)])
+        centroids = np.array([flat, peak])
+        labels = dtw_assign(series, centroids)
+        assert labels.tolist() == [0, 1, 0, 1]
+
+    def test_dba_converges_toward_members(self):
+        rng = np.random.default_rng(4)
+        template = np.sin(np.linspace(0, 2 * np.pi, 16))
+        members = np.array([np.roll(template, s) + rng.normal(0, 0.05, 16) for s in (-1, 0, 1)])
+        barycenter = dba_mean(members, initial=template * 0.5, iterations=4)
+        before = np.mean([dtw_distance(template * 0.5, m) for m in members])
+        after = np.mean([dtw_distance(barycenter, m) for m in members])
+        assert after < before
+
+    def test_dba_empty_set(self):
+        initial = np.ones(5)
+        assert np.allclose(dba_mean(np.empty((0, 5)), initial), initial)

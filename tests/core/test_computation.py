@@ -1,0 +1,68 @@
+"""Direct unit tests of the Algorithm 3 computation step."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import ComputationStep, NoisePlan
+from repro.core.diptych import initialize_means
+from repro.crypto import FixedPointCodec
+from repro.gossip import GossipEngine
+
+
+@pytest.fixture()
+def tiny_setup(threshold_keypair_s2):
+    """8 nodes, k = 2, series length 3, negligible noise."""
+    keypair = threshold_keypair_s2
+    codec = FixedPointCodec(keypair.public, fractional_bits=20)
+    crypto_rng = random.Random(0)
+    series = np.array(
+        [[1.0, 2, 3], [1, 2, 3], [1, 2, 3], [1, 2, 3],
+         [10, 20, 30], [10, 20, 30], [10, 20, 30], [10, 20, 30]]
+    )
+    assignments = [0, 0, 0, 0, 1, 1, 1, 1]
+    vectors = {}
+    for node, (row, cluster) in enumerate(zip(series, assignments)):
+        means = initialize_means(keypair.public, codec, row, cluster, 2, crypto_rng)
+        flat = []
+        for mean in means:
+            flat.extend(mean.as_vector())
+        vectors[node] = flat
+    plan = NoisePlan(
+        k=2, series_length=3, dmin=0.0, dmax=30.0, epsilon=1e9, n_nu=8
+    )
+    step = ComputationStep(
+        keypair=keypair, codec=codec, noise_plan=plan, exchanges=15,
+        crypto_rng=crypto_rng, noise_rng=np.random.default_rng(1),
+    )
+    return step, vectors, series
+
+
+class TestComputationStep:
+    def test_every_node_decodes(self, tiny_setup):
+        step, vectors, _ = tiny_setup
+        engine = GossipEngine(8, seed=7)
+        output = step.run(engine, vectors)
+        assert set(output.sums) == set(range(8))
+
+    def test_sums_and_counts_match_truth(self, tiny_setup):
+        step, vectors, series = tiny_setup
+        engine = GossipEngine(8, seed=8)
+        output = step.run(engine, vectors)
+        for node in range(8):
+            means, counts = output.perturbed_means(node)
+            assert counts[0] == pytest.approx(4.0, abs=0.05)
+            assert counts[1] == pytest.approx(4.0, abs=0.05)
+            assert np.allclose(means[0], [1.0, 2.0, 3.0], atol=0.1)
+            assert np.allclose(means[1], [10.0, 20.0, 30.0], atol=0.3)
+
+    def test_agreement_small(self, tiny_setup):
+        step, vectors, _ = tiny_setup
+        engine = GossipEngine(8, seed=9)
+        output = step.run(engine, vectors)
+        assert output.agreement() < 1e-2
+
+    def test_noise_plan_dimensions_respected(self, tiny_setup):
+        step, vectors, _ = tiny_setup
+        assert all(len(v) == step.noise_plan.dimensions for v in vectors.values())

@@ -1,0 +1,90 @@
+"""Tests for the Diptych data structure (Definition 6)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import Diptych, EncryptedMean, initialize_means
+from repro.crypto import FixedPointCodec, decrypt, encrypt_zero_pool
+
+
+class TestEncryptedMean:
+    def test_vector_roundtrip(self):
+        mean = EncryptedMean(sum_cipher=[10, 20, 30], count_cipher=40, omega=2)
+        vector = mean.as_vector()
+        assert vector == [10, 20, 30, 40]
+        back = EncryptedMean.from_vector(vector, omega=2)
+        assert back.sum_cipher == [10, 20, 30]
+        assert back.count_cipher == 40
+        assert back.omega == 2
+
+
+class TestDiptych:
+    def test_flatten_unflatten(self):
+        means = [
+            EncryptedMean([1, 2], 3),
+            EncryptedMean([4, 5], 6),
+        ]
+        diptych = Diptych(centroids=np.zeros((2, 2)), means=means)
+        flat = diptych.flatten_means()
+        assert flat == [1, 2, 3, 4, 5, 6]
+        rebuilt = Diptych.unflatten_means(flat, k=2, omega=0)
+        assert rebuilt[0].as_vector() == [1, 2, 3]
+        assert rebuilt[1].as_vector() == [4, 5, 6]
+
+    def test_unflatten_validation(self):
+        with pytest.raises(ValueError):
+            Diptych.unflatten_means([1, 2, 3], k=2, omega=0)
+
+    def test_exported_fields_trichotomy(self):
+        """Every exported field is dp, encrypted, or data-independent — the
+        information-flow shape of the Theorem 2 proof."""
+        diptych = Diptych(centroids=np.zeros((1, 2)))
+        classes = set(diptych.exported_fields().values())
+        assert classes <= {"dp", "encrypted", "independent"}
+        assert diptych.exported_fields()["centroids"] == "dp"
+        assert diptych.exported_fields()["means.sum_cipher"] == "encrypted"
+
+
+class TestInitializeMeans:
+    def test_assignment_semantics(self, keypair128):
+        """Alg. 1 l.6: own series in the assigned slot, zeros elsewhere."""
+        codec = FixedPointCodec(keypair128.public, fractional_bits=16)
+        rng = random.Random(0)
+        series = np.array([1.5, -2.0, 3.0])
+        means = initialize_means(
+            keypair128.public, codec, series, assigned_cluster=1, k=3, rng=rng
+        )
+        assert len(means) == 3
+        for cluster, mean in enumerate(means):
+            values = [codec.decode(decrypt(keypair128, c)) for c in mean.sum_cipher]
+            count = codec.decode(decrypt(keypair128, mean.count_cipher))
+            if cluster == 1:
+                assert values == pytest.approx([1.5, -2.0, 3.0])
+                assert count == pytest.approx(1.0)
+            else:
+                assert values == pytest.approx([0.0, 0.0, 0.0])
+                assert count == pytest.approx(0.0)
+            assert mean.omega == 0
+
+    def test_randomizer_pool(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=16)
+        rng = random.Random(1)
+        pool = encrypt_zero_pool(keypair128.public, 8, rng)
+        series = np.array([4.0])
+        means = initialize_means(
+            keypair128.public, codec, series, 0, k=4, rng=rng, randomizers=pool
+        )
+        total = codec.decode(decrypt(keypair128, means[0].sum_cipher[0]))
+        assert total == pytest.approx(4.0)
+
+    def test_ciphertexts_not_deterministic(self, keypair128):
+        """Zero slots must still be semantically secure (distinct ciphertexts)."""
+        codec = FixedPointCodec(keypair128.public, fractional_bits=16)
+        rng = random.Random(2)
+        means = initialize_means(
+            keypair128.public, codec, np.array([1.0]), 0, k=3, rng=rng
+        )
+        zeros = [means[1].sum_cipher[0], means[2].sum_cipher[0]]
+        assert zeros[0] != zeros[1]

@@ -1,0 +1,112 @@
+"""Tests for the NoisePlan, result containers, and participant-local steps."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import NoisePlan, Participant, encrypt_share_vector
+from repro.core.results import ClusteringResult, IterationStats
+from repro.crypto import FixedPointCodec, decrypt
+
+
+class TestNoisePlan:
+    def test_dimensions(self):
+        plan = NoisePlan(k=5, series_length=24, dmin=0, dmax=80, epsilon=0.5, n_nu=100)
+        assert plan.dimensions == 5 * 25
+
+    def test_scale_uses_joint_sensitivity(self):
+        plan = NoisePlan(k=2, series_length=24, dmin=0, dmax=80, epsilon=0.5, n_nu=10)
+        assert plan.scale == pytest.approx((24 * 80 + 1) / 0.5)
+
+    def test_share_shape(self):
+        plan = NoisePlan(k=3, series_length=4, dmin=0, dmax=1, epsilon=1.0, n_nu=10)
+        share = plan.draw_share(np.random.default_rng(0))
+        assert share.shape == (15,)
+
+    def test_shares_sum_to_laplace_variance(self):
+        plan = NoisePlan(k=1, series_length=0 + 1, dmin=0, dmax=1, epsilon=1.0, n_nu=64)
+        rng = np.random.default_rng(1)
+        totals = np.array(
+            [sum(plan.draw_share(rng)[0] for _ in range(64)) for _ in range(4000)]
+        )
+        assert totals.var() == pytest.approx(2 * plan.scale**2, rel=0.15)
+
+    def test_correction_zero_without_surplus(self):
+        plan = NoisePlan(k=1, series_length=2, dmin=0, dmax=1, epsilon=1.0, n_nu=50)
+        assert np.allclose(plan.correction(50, np.random.default_rng(2)), 0.0)
+
+    def test_correction_nonzero_with_surplus(self):
+        plan = NoisePlan(k=1, series_length=2, dmin=0, dmax=1, epsilon=1.0, n_nu=50)
+        correction = plan.correction(60, np.random.default_rng(3))
+        assert not np.allclose(correction, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoisePlan(k=0, series_length=2, dmin=0, dmax=1, epsilon=1.0, n_nu=5)
+        with pytest.raises(ValueError):
+            NoisePlan(k=1, series_length=2, dmin=0, dmax=1, epsilon=1.0, n_nu=0)
+
+    def test_encrypt_share_vector_roundtrip(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=20)
+        share = np.array([1.25, -3.5, 0.0])
+        ciphertexts = encrypt_share_vector(
+            keypair128.public, codec, share, random.Random(0)
+        )
+        decoded = [codec.decode(decrypt(keypair128, c)) for c in ciphertexts]
+        assert decoded == pytest.approx([1.25, -3.5, 0.0], abs=1e-5)
+
+
+class TestParticipant:
+    def test_closest_centroid(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=16)
+        participant = Participant(
+            node_id=0,
+            series=np.array([10.0, 10.0]),
+            public=keypair128.public,
+            codec=codec,
+        )
+        centroids = np.array([[0.0, 0.0], [9.0, 11.0], [30.0, 30.0]])
+        assert participant.closest_centroid(centroids) == 1
+
+    def test_encrypted_means_vector_length(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=16)
+        participant = Participant(
+            node_id=0, series=np.array([1.0, 2.0, 3.0]),
+            public=keypair128.public, codec=codec,
+        )
+        vector = participant.encrypted_means_vector(
+            np.zeros((4, 3)), random.Random(0)
+        )
+        assert len(vector) == 4 * (3 + 1)
+
+
+class TestResultContainers:
+    def _result(self):
+        result = ClusteringResult(centroids=np.zeros((2, 2)), strategy="G", smoothing=True)
+        for i, (pre, n) in enumerate([(10.0, 5), (4.0, 4), (7.0, 3)], start=1):
+            result.history.append(
+                IterationStats(
+                    iteration=i, pre_inertia=pre, post_inertia=pre + 1,
+                    n_centroids=n, epsilon_spent=0.1, centroids=np.zeros((n, 2)),
+                )
+            )
+        return result
+
+    def test_curves(self):
+        result = self._result()
+        assert result.pre_inertia_curve == [10.0, 4.0, 7.0]
+        assert result.n_centroids_curve == [5, 4, 3]
+        assert result.iterations == 3
+
+    def test_best_iteration(self):
+        assert self._result().best_iteration().iteration == 2
+
+    def test_best_iteration_empty(self):
+        with pytest.raises(ValueError):
+            ClusteringResult(centroids=np.zeros((1, 1))).best_iteration()
+
+    def test_label(self):
+        assert self._result().label == "G_SMA"
+        plain = ClusteringResult(centroids=np.zeros((1, 1)), strategy="UF5")
+        assert plain.label == "UF5"

@@ -1,0 +1,109 @@
+"""Tests for the perturbed EM extension (the Sec. 8 perspective)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianMixtureState, em_sensitivities, perturbed_em
+from repro.datasets import TimeSeriesSet
+from repro.privacy import Greedy, UniformFast
+
+
+def gaussian_mixture_dataset(seed=0, per=400, scale=1000):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[10.0, 10.0, 10.0], [30.0, 30.0, 30.0], [10.0, 30.0, 10.0]])
+    values = np.concatenate(
+        [c + rng.normal(0, 1.5, (per, 3)) for c in centers]
+    )
+    values = np.clip(values, 0.0, 40.0)
+    return (
+        TimeSeriesSet(values, 0.0, 40.0, name="gmm", population_scale=scale),
+        centers,
+    )
+
+
+def initial_state(centers, jitter, seed=0):
+    rng = np.random.default_rng(seed)
+    k = len(centers)
+    return GaussianMixtureState(
+        means=centers + rng.normal(0, jitter, centers.shape),
+        variances=np.full(k, 4.0),
+        weights=np.full(k, 1.0 / k),
+    )
+
+
+class TestSensitivities:
+    def test_values(self):
+        sens = em_sensitivities(24, 0.0, 80.0)
+        assert sens["sum"] == 1920.0  # same as the k-means Def. 4 number
+        assert sens["count"] == 1.0
+        assert sens["scatter"] == 24 * 80.0 * 80.0
+
+    def test_negative_range(self):
+        sens = em_sensitivities(10, -5.0, 3.0)
+        assert sens["sum"] == 50.0
+        assert sens["scatter"] == 10 * 64.0
+
+
+class TestPerturbedEM:
+    def test_recovers_components_low_noise(self):
+        data, centers = gaussian_mixture_dataset(seed=1, scale=10**6)
+        trace = perturbed_em(
+            data, initial_state(centers, jitter=3.0, seed=1),
+            UniformFast(0.69, 5), max_iterations=5,
+            rng=np.random.default_rng(2),
+        )
+        assert trace.iterations == 5
+        final = trace.states[-1]
+        for center in centers:
+            assert np.min(np.linalg.norm(final.means - center, axis=1)) < 1.5
+
+    def test_log_likelihood_improves(self):
+        data, centers = gaussian_mixture_dataset(seed=3, scale=10**6)
+        trace = perturbed_em(
+            data, initial_state(centers, jitter=4.0, seed=3),
+            UniformFast(0.69, 6), max_iterations=6,
+            rng=np.random.default_rng(4),
+        )
+        assert trace.log_likelihood[-1] > trace.log_likelihood[0]
+
+    def test_budget_respected(self):
+        data, centers = gaussian_mixture_dataset(seed=5)
+        trace = perturbed_em(
+            data, initial_state(centers, jitter=2.0, seed=5),
+            UniformFast(0.69, 3), max_iterations=10,
+            rng=np.random.default_rng(6),
+        )
+        assert trace.iterations == 3  # UF bound enforced
+
+    def test_greedy_strategy_plugs_in(self):
+        """The Chiaroscuro budget machinery carries over unchanged."""
+        data, centers = gaussian_mixture_dataset(seed=7, scale=10**5)
+        trace = perturbed_em(
+            data, initial_state(centers, jitter=2.0, seed=7),
+            Greedy(0.69), max_iterations=6,
+            rng=np.random.default_rng(8),
+        )
+        assert 1 <= trace.iterations <= 6
+        assert all(1 <= n <= 3 for n in trace.n_components)
+
+    def test_heavy_noise_loses_components(self):
+        """Small effective population → components die like centroids do."""
+        data, centers = gaussian_mixture_dataset(seed=9, scale=1)
+        trace = perturbed_em(
+            data, initial_state(centers, jitter=2.0, seed=9),
+            Greedy(0.69), max_iterations=8,
+            rng=np.random.default_rng(10),
+        )
+        # Either the run broke off early or components were lost.
+        assert trace.iterations < 8 or min(trace.n_components) < 3
+
+    def test_weights_normalized(self):
+        data, centers = gaussian_mixture_dataset(seed=11, scale=10**6)
+        trace = perturbed_em(
+            data, initial_state(centers, jitter=2.0, seed=11),
+            UniformFast(0.69, 3), max_iterations=3,
+            rng=np.random.default_rng(12),
+        )
+        for state in trace.states:
+            assert state.weights.sum() == pytest.approx(1.0)
+            assert (state.variances > 0).all()

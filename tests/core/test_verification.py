@@ -1,0 +1,92 @@
+"""Tests for the Sec. 4.4 malicious-attacker countermeasures."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecryptionCrossCheck, DeviceRegistry
+
+
+class TestDeviceRegistry:
+    def test_valid_token_enrolls(self):
+        registry = DeviceRegistry(secret=b"registrar-secret")
+        token = registry.token_for(7)
+        slot = registry.enroll(7, token)
+        assert registry.is_authorized(7)
+        assert slot == 0
+
+    def test_invalid_token_rejected(self):
+        registry = DeviceRegistry(secret=b"registrar-secret")
+        with pytest.raises(PermissionError):
+            registry.enroll(7, "deadbeef" * 8)
+        assert not registry.is_authorized(7)
+
+    def test_token_bound_to_device(self):
+        registry = DeviceRegistry(secret=b"registrar-secret")
+        token_for_3 = registry.token_for(3)
+        with pytest.raises(PermissionError):
+            registry.enroll(4, token_for_3)
+
+    def test_idempotent_slots(self):
+        registry = DeviceRegistry(secret=b"s")
+        first = registry.enroll(1, registry.token_for(1))
+        second = registry.enroll(1, registry.token_for(1))
+        assert first == second
+
+    def test_distinct_slots(self):
+        registry = DeviceRegistry(secret=b"s")
+        slots = [registry.enroll(i, registry.token_for(i)) for i in range(5)]
+        assert slots == [0, 1, 2, 3, 4]
+
+    def test_different_secrets_different_tokens(self):
+        a = DeviceRegistry(secret=b"a")
+        b = DeviceRegistry(secret=b"b")
+        assert a.token_for(1) != b.token_for(1)
+
+
+class TestDecryptionCrossCheck:
+    def test_all_honest_clean(self):
+        rng = np.random.default_rng(0)
+        truth = rng.normal(size=6) * 100
+        reports = {i: truth * (1 + rng.uniform(-1e-6, 1e-6, 6)) for i in range(10)}
+        report = DecryptionCrossCheck(relative_tolerance=1e-4).check(reports)
+        assert report.clean
+        assert len(report.agreeing) == 10
+
+    def test_single_liar_flagged(self):
+        truth = np.array([100.0, -50.0, 25.0])
+        reports = {i: truth.copy() for i in range(9)}
+        reports[4] = truth * 1.5  # the lying participant
+        report = DecryptionCrossCheck(relative_tolerance=1e-3).check(reports)
+        assert report.deviating == [4]
+        assert 4 not in report.agreeing
+
+    def test_median_reference_resists_minority(self):
+        """Up to just under half the population lying does not move the
+        reference onto the liars' value."""
+        truth = np.array([10.0, 10.0])
+        reports = {i: truth.copy() for i in range(6)}
+        for i in range(6, 10):
+            reports[i] = np.array([99.0, 99.0])
+        report = DecryptionCrossCheck(relative_tolerance=1e-3).check(reports)
+        assert sorted(report.deviating) == [6, 7, 8, 9]
+        assert np.allclose(report.reference, truth)
+
+    def test_benign_gossip_spread_tolerated(self):
+        """The epidemic approximation error (≤ e_max) must not raise alarms."""
+        rng = np.random.default_rng(1)
+        truth = np.array([1000.0, 2000.0])
+        e_max = 1e-6
+        reports = {
+            i: truth * (1 + rng.uniform(-e_max, e_max, 2)) for i in range(20)
+        }
+        report = DecryptionCrossCheck(relative_tolerance=1e-3).check(reports)
+        assert report.clean
+        assert report.max_benign_spread <= 2 * e_max
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DecryptionCrossCheck().check({})
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            DecryptionCrossCheck(relative_tolerance=0.0)

@@ -1,0 +1,147 @@
+"""Unit + property tests for the Damgård–Jurik scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    decrypt,
+    dlog_1_plus_n,
+    encrypt,
+    encrypt_zero_pool,
+    generate_keypair,
+    homomorphic_add,
+    homomorphic_scalar_mul,
+    powers_of_g,
+)
+
+
+class TestRoundTrip:
+    def test_zero(self, keypair128, crypto_rng):
+        c = encrypt(keypair128.public, 0, rng=crypto_rng)
+        assert decrypt(keypair128, c) == 0
+
+    def test_small_values(self, keypair128, crypto_rng):
+        for value in (1, 2, 255, 10**9):
+            c = encrypt(keypair128.public, value, rng=crypto_rng)
+            assert decrypt(keypair128, c) == value
+
+    def test_max_plaintext(self, keypair128, crypto_rng):
+        top = keypair128.public.n_s - 1
+        c = encrypt(keypair128.public, top, rng=crypto_rng)
+        assert decrypt(keypair128, c) == top
+
+    def test_s2_large_plaintext(self, keypair_s2, crypto_rng):
+        value = 2**300 + 12345  # needs the expanded plaintext space
+        c = encrypt(keypair_s2.public, value, rng=crypto_rng)
+        assert decrypt(keypair_s2, c) == value
+
+    def test_semantic_security_not_deterministic(self, keypair128, crypto_rng):
+        c1 = encrypt(keypair128.public, 42, rng=crypto_rng)
+        c2 = encrypt(keypair128.public, 42, rng=crypto_rng)
+        assert c1 != c2
+        assert decrypt(keypair128, c1) == decrypt(keypair128, c2) == 42
+
+
+class TestHomomorphism:
+    def test_addition(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        c = homomorphic_add(
+            pub,
+            encrypt(pub, 1234, rng=crypto_rng),
+            encrypt(pub, 8765, rng=crypto_rng),
+        )
+        assert decrypt(keypair128, c) == 9999
+
+    def test_addition_wraps_modulo(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        a = pub.n_s - 1
+        c = homomorphic_add(
+            pub, encrypt(pub, a, rng=crypto_rng), encrypt(pub, 2, rng=crypto_rng)
+        )
+        assert decrypt(keypair128, c) == 1
+
+    def test_scalar_mul(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        c = homomorphic_scalar_mul(pub, encrypt(pub, 321, rng=crypto_rng), 1000)
+        assert decrypt(keypair128, c) == 321000
+
+    def test_scalar_mul_negative(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        c = homomorphic_scalar_mul(pub, encrypt(pub, 5, rng=crypto_rng), -3)
+        assert decrypt(keypair128, c) == (-15) % pub.n_s
+
+    def test_scalar_mul_power_of_two(self, keypair128, crypto_rng):
+        """The EESum scaling operation: multiply by 2^j."""
+        pub = keypair128.public
+        c = encrypt(pub, 7, rng=crypto_rng)
+        for j in (1, 5, 16):
+            assert decrypt(keypair128, homomorphic_scalar_mul(pub, c, 1 << j)) == 7 << j
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=2**64), b=st.integers(min_value=0, max_value=2**64))
+    def test_addition_law_property(self, keypair128, a, b):
+        pub = keypair128.public
+        rng = random.Random(a ^ b)
+        c = homomorphic_add(
+            pub, encrypt(pub, a, rng=rng), encrypt(pub, b, rng=rng)
+        )
+        assert decrypt(keypair128, c) == (a + b) % pub.n_s
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=2**48), k=st.integers(min_value=-1000, max_value=1000))
+    def test_scalar_law_property(self, keypair128, a, k):
+        pub = keypair128.public
+        rng = random.Random(a * 31 + k)
+        c = homomorphic_scalar_mul(pub, encrypt(pub, a, rng=rng), k)
+        if k == 0:
+            assert decrypt(keypair128, c) == 0
+        else:
+            assert decrypt(keypair128, c) == (a * k) % pub.n_s
+
+
+class TestInternals:
+    def test_powers_of_g_matches_pow(self, keypair128):
+        pub = keypair128.public
+        for a in (0, 1, 7, 123456789, pub.n_s - 1):
+            assert powers_of_g(pub, a) == pow(pub.g, a, pub.n_s1)
+
+    def test_powers_of_g_matches_pow_s2(self, keypair_s2):
+        pub = keypair_s2.public
+        for a in (0, 1, 2**200 + 5):
+            assert powers_of_g(pub, a) == pow(pub.g, a, pub.n_s1)
+
+    def test_dlog_inverts_powers(self, keypair_s2):
+        pub = keypair_s2.public
+        for a in (0, 1, 17, 2**150, pub.n_s - 2):
+            assert dlog_1_plus_n(pub, powers_of_g(pub, a)) == a
+
+    def test_zero_pool(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        pool = encrypt_zero_pool(pub, 3, crypto_rng)
+        assert len(pool) == 3
+        for randomizer in pool:
+            c = encrypt(pub, 77, randomizer=randomizer)
+            assert decrypt(keypair128, c) == 77
+
+
+class TestKeyGeneration:
+    def test_distinct_primes_required(self):
+        assert generate_keypair(128, rng=random.Random(0)).p != generate_keypair(
+            128, rng=random.Random(0)
+        ).q
+
+    def test_fresh_generation_small(self):
+        kp = generate_keypair(64, use_fixtures=False, rng=random.Random(4))
+        c = encrypt(kp.public, 99, rng=random.Random(5))
+        assert decrypt(kp, c) == 99
+
+    def test_d_is_crt_exponent(self, keypair128):
+        pub = keypair128.public
+        lam = (keypair128.p - 1) * (keypair128.q - 1) // __import__("math").gcd(
+            keypair128.p - 1, keypair128.q - 1
+        )
+        assert keypair128.d % lam == 0
+        assert keypair128.d % pub.n_s == 1

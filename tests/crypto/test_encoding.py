@@ -1,0 +1,72 @@
+"""Tests for the signed fixed-point codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import FixedPointCodec
+
+
+class TestRoundTrip:
+    def test_positive(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=24)
+        assert codec.decode(codec.encode(3.25)) == pytest.approx(3.25)
+
+    def test_negative(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=24)
+        assert codec.decode(codec.encode(-7.125)) == pytest.approx(-7.125)
+
+    def test_zero(self, keypair128):
+        codec = FixedPointCodec(keypair128.public)
+        assert codec.decode(codec.encode(0.0)) == 0.0
+
+    def test_resolution(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=32)
+        value = 0.123456789
+        assert codec.decode(codec.encode(value)) == pytest.approx(value, abs=2**-31)
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_roundtrip_property(self, keypair128, value):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=24)
+        assert codec.decode(codec.encode(value)) == pytest.approx(value, abs=2**-23)
+
+
+class TestAdditivity:
+    def test_sum_of_encodings(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=24)
+        pub = keypair128.public
+        total = (codec.encode(-3.5) + codec.encode(1.25) + codec.encode(10.0)) % pub.n_s
+        assert codec.decode(total) == pytest.approx(7.75)
+
+    def test_extra_shift_delayed_division(self, keypair128):
+        """Decoding after the EESum 2^j scaling divides back correctly."""
+        codec = FixedPointCodec(keypair128.public, fractional_bits=24)
+        pub = keypair128.public
+        scaled = codec.encode(-5.5) * 16 % pub.n_s
+        assert codec.decode(scaled, extra_shift=4) == pytest.approx(-5.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        b=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    )
+    def test_additivity_property(self, keypair128, a, b):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=24)
+        total = (codec.encode(a) + codec.encode(b)) % keypair128.public.n_s
+        assert codec.decode(total) == pytest.approx(a + b, abs=2**-22)
+
+
+class TestCapacity:
+    def test_capacity_ok(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=24)
+        codec.check_capacity(max_abs_value=100.0, population=1000, exchanges=40)
+
+    def test_capacity_overflow_detected(self, keypair128):
+        codec = FixedPointCodec(keypair128.public, fractional_bits=48)
+        with pytest.raises(ValueError, match="plaintext space too small"):
+            codec.check_capacity(max_abs_value=1e9, population=10**9, exchanges=200)
+
+    def test_s2_extends_capacity(self, keypair_s2):
+        codec = FixedPointCodec(keypair_s2.public, fractional_bits=48)
+        codec.check_capacity(max_abs_value=1e9, population=10**9, exchanges=200)

@@ -1,0 +1,56 @@
+"""Tests for key containers and the ciphertext-size accounting."""
+
+import math
+
+import pytest
+
+from repro.crypto import PublicKey, ThresholdContext
+from repro.crypto.paillier import decrypt, encrypt, generate_keypair
+
+
+class TestPublicKey:
+    def test_g_is_n_plus_one(self):
+        pub = PublicKey(n=77, s=1)
+        assert pub.g == 78
+
+    def test_moduli(self):
+        pub = PublicKey(n=77, s=2)
+        assert pub.n_s == 77**2
+        assert pub.n_s1 == 77**3
+
+    def test_key_bits(self, keypair128):
+        assert keypair128.public.key_bits in (255, 256)
+
+    def test_ciphertext_bytes_s1(self, keypair128):
+        # s = 1 → ciphertexts live mod n², about twice the key size.
+        expected = (keypair128.public.n_s1.bit_length() + 7) // 8
+        assert keypair128.public.ciphertext_bytes == expected
+        assert 60 <= keypair128.public.ciphertext_bytes <= 66
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            PublicKey(n=77, s=0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            PublicKey(n=2)
+
+
+class TestThresholdContext:
+    def test_delta(self, keypair128):
+        ctx = ThresholdContext(public=keypair128.public, n_shares=6, threshold=2)
+        assert ctx.delta == math.factorial(6)
+
+    def test_invalid_threshold(self, keypair128):
+        with pytest.raises(ValueError):
+            ThresholdContext(public=keypair128.public, n_shares=2, threshold=3)
+
+
+class TestPaillierFacade:
+    def test_roundtrip(self, crypto_rng):
+        kp = generate_keypair(128, rng=crypto_rng)
+        assert decrypt(kp, encrypt(kp.public, 12345, rng=crypto_rng)) == 12345
+
+    def test_facade_rejects_s2(self, keypair_s2, crypto_rng):
+        with pytest.raises(ValueError):
+            encrypt(keypair_s2.public, 1, rng=crypto_rng)

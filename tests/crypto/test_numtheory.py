@@ -1,0 +1,99 @@
+"""Unit tests for the number-theory primitives."""
+
+import random
+
+import pytest
+
+from repro.crypto.numtheory import (
+    crt_pair,
+    fixture_safe_primes,
+    gcd,
+    is_probable_prime,
+    lcm,
+    modinv,
+    random_prime,
+    random_safe_prime,
+)
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 15, 91, 7917, 561, 41041):  # incl. Carmichael
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**127 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime(2**128 + 1)
+
+    def test_negative(self):
+        assert not is_probable_prime(-7)
+
+
+class TestPrimeGeneration:
+    def test_random_prime_bits(self):
+        rng = random.Random(0)
+        p = random_prime(48, rng)
+        assert p.bit_length() == 48
+        assert is_probable_prime(p)
+
+    def test_random_prime_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_prime(1, random.Random(0))
+
+    def test_safe_prime_structure(self):
+        rng = random.Random(0)
+        p = random_safe_prime(32, rng)
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+        assert p.bit_length() == 32
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("bits", [64, 96, 128, 192, 256, 512])
+    def test_fixture_safe_primes_are_safe(self, bits):
+        for p in fixture_safe_primes(bits, count=2):
+            assert p.bit_length() == bits
+            assert is_probable_prime(p, rounds=10)
+            assert is_probable_prime((p - 1) // 2, rounds=10)
+
+    def test_fixtures_distinct(self):
+        primes = fixture_safe_primes(128, count=4)
+        assert len(set(primes)) == 4
+
+    def test_missing_size_raises(self):
+        with pytest.raises(KeyError):
+            fixture_safe_primes(77, count=2)
+
+
+class TestModularArithmetic:
+    def test_modinv(self):
+        assert modinv(3, 11) == 4
+        assert 3 * modinv(3, 10**9 + 7) % (10**9 + 7) == 1
+
+    def test_modinv_not_invertible(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    def test_crt_pair(self):
+        x = crt_pair(2, 3, 3, 5)
+        assert x % 3 == 2 and x % 5 == 3
+
+    def test_crt_pair_large(self):
+        m1, m2 = 2**61 - 1, 2**89 - 1
+        x = crt_pair(0, m1, 1, m2)
+        assert x % m1 == 0 and x % m2 == 1
+
+    def test_crt_requires_coprime(self):
+        with pytest.raises(ValueError):
+            crt_pair(1, 4, 2, 6)
+
+    def test_gcd_lcm(self):
+        assert gcd(12, 18) == 6
+        assert lcm(4, 6) == 12
+        assert gcd(0, 5) == 5

@@ -1,0 +1,101 @@
+"""Tests for the wire serialization layer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    ciphertext_from_bytes,
+    ciphertext_to_bytes,
+    decrypt,
+    encrypt,
+    means_payload_from_bytes,
+    means_payload_to_bytes,
+    public_key_from_bytes,
+    public_key_to_bytes,
+)
+
+
+class TestCiphertextWire:
+    def test_roundtrip(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        c = encrypt(pub, 123456, rng=crypto_rng)
+        payload = ciphertext_to_bytes(pub, c)
+        assert len(payload) == pub.ciphertext_bytes
+        assert ciphertext_from_bytes(pub, payload) == c
+
+    def test_fixed_width_independent_of_value(self, keypair128, crypto_rng):
+        """Constant wire width — traffic must not leak plaintext magnitude."""
+        pub = keypair128.public
+        small = ciphertext_to_bytes(pub, encrypt(pub, 0, rng=crypto_rng))
+        large = ciphertext_to_bytes(pub, encrypt(pub, pub.n_s - 1, rng=crypto_rng))
+        assert len(small) == len(large)
+
+    def test_out_of_range_rejected(self, keypair128):
+        pub = keypair128.public
+        with pytest.raises(ValueError):
+            ciphertext_to_bytes(pub, pub.n_s1)
+        with pytest.raises(ValueError):
+            ciphertext_to_bytes(pub, -1)
+
+    def test_wrong_width_rejected(self, keypair128):
+        with pytest.raises(ValueError):
+            ciphertext_from_bytes(keypair128.public, b"\x01\x02")
+
+    @settings(max_examples=25, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=2**64))
+    def test_decrypts_after_wire_roundtrip(self, keypair128, value):
+        pub = keypair128.public
+        c = encrypt(pub, value, rng=random.Random(value))
+        wired = ciphertext_from_bytes(pub, ciphertext_to_bytes(pub, c))
+        assert decrypt(keypair128, wired) == value
+
+
+class TestPublicKeyWire:
+    def test_roundtrip(self, keypair128):
+        pub = keypair128.public
+        back = public_key_from_bytes(public_key_to_bytes(pub))
+        assert back.n == pub.n and back.s == pub.s
+
+    def test_s2_roundtrip(self, keypair_s2):
+        pub = keypair_s2.public
+        back = public_key_from_bytes(public_key_to_bytes(pub))
+        assert back.n == pub.n and back.s == 2
+
+
+class TestMeansPayload:
+    def test_roundtrip(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        k, n = 3, 4
+        ciphertexts = [
+            encrypt(pub, i, rng=crypto_rng) for i in range(k * (n + 1))
+        ]
+        payload = means_payload_to_bytes(pub, ciphertexts, k=k, omega=7, counter=12)
+        back, k2, omega, counter = means_payload_from_bytes(pub, payload)
+        assert back == ciphertexts
+        assert (k2, omega, counter) == (k, 7, 12)
+
+    def test_size_matches_cost_model(self, keypair128, crypto_rng):
+        """The wire payload ≈ the Fig. 5(b) accounting plus a 20-byte header."""
+        from repro.analysis import means_set_bytes
+
+        pub = keypair128.public
+        k, n = 5, 8
+        ciphertexts = [encrypt(pub, 1, rng=crypto_rng) for _ in range(k * (n + 1))]
+        payload = means_payload_to_bytes(pub, ciphertexts, k=k, omega=1, counter=0)
+        assert len(payload) == means_set_bytes(pub, k, n) + 20
+
+    def test_truncated_body_rejected(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        ciphertexts = [encrypt(pub, 1, rng=crypto_rng) for _ in range(4)]
+        payload = means_payload_to_bytes(pub, ciphertexts, k=2, omega=1, counter=0)
+        with pytest.raises(ValueError):
+            means_payload_from_bytes(pub, payload[:-1])
+
+    def test_bad_k_rejected(self, keypair128, crypto_rng):
+        pub = keypair128.public
+        ciphertexts = [encrypt(pub, 1, rng=crypto_rng) for _ in range(5)]
+        with pytest.raises(ValueError):
+            means_payload_to_bytes(pub, ciphertexts, k=2, omega=1, counter=0)

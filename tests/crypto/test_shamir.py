@@ -1,0 +1,84 @@
+"""Tests for Shamir sharing and integer Lagrange coefficients."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import lagrange_at_zero, reconstruct_at_zero, share_secret
+
+
+MODULUS = (2**89 - 1) * (2**61 - 1)  # composite, like n^s·m
+
+
+class TestSharing:
+    def test_share_count_and_indices(self):
+        shares = share_secret(123, MODULUS, 7, 3, random.Random(0))
+        assert [s.index for s in shares] == list(range(1, 8))
+
+    def test_reconstruct_exact_threshold(self):
+        secret = 987654321
+        delta = math.factorial(7)
+        shares = share_secret(secret, MODULUS, 7, 3, random.Random(1))
+        got = reconstruct_at_zero(shares[:3], delta, MODULUS)
+        assert got == delta * secret % MODULUS
+
+    def test_reconstruct_any_subset(self):
+        secret = 42
+        delta = math.factorial(6)
+        shares = share_secret(secret, MODULUS, 6, 4, random.Random(2))
+        for subset in ([0, 1, 2, 3], [2, 3, 4, 5], [0, 2, 4, 5]):
+            got = reconstruct_at_zero([shares[i] for i in subset], delta, MODULUS)
+            assert got == delta * secret % MODULUS
+
+    def test_fewer_than_threshold_differs(self):
+        """τ−1 shares interpolate to a wrong value (no information)."""
+        secret = 5555
+        delta = math.factorial(5)
+        shares = share_secret(secret, MODULUS, 5, 3, random.Random(3))
+        got = reconstruct_at_zero(shares[:2], delta, MODULUS)
+        assert got != delta * secret % MODULUS
+
+    def test_duplicate_indices_rejected(self):
+        shares = share_secret(1, MODULUS, 4, 2, random.Random(4))
+        with pytest.raises(ValueError):
+            reconstruct_at_zero([shares[0], shares[0]], math.factorial(4), MODULUS)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            share_secret(1, MODULUS, 3, 4, random.Random(0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        secret=st.integers(min_value=0, max_value=MODULUS - 1),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_reconstruction_property(self, secret, seed):
+        rng = random.Random(seed)
+        n, t = 8, 4
+        delta = math.factorial(n)
+        shares = share_secret(secret, MODULUS, n, t, rng)
+        picked = rng.sample(shares, t)
+        assert reconstruct_at_zero(picked, delta, MODULUS) == delta * secret % MODULUS
+
+
+class TestLagrange:
+    def test_integrality(self):
+        delta = math.factorial(9)
+        coefficients = lagrange_at_zero([2, 5, 9], delta)
+        assert all(isinstance(v, int) for v in coefficients.values())
+
+    def test_interpolates_constant(self):
+        """Σ λ_i · f(i) == Δ·f(0) for a degree-(τ−1) polynomial over Q."""
+        delta = math.factorial(5)
+        indices = [1, 3, 5]
+        poly = lambda x: 7 + 3 * x + 2 * x * x  # degree 2, τ = 3
+        coefficients = lagrange_at_zero(indices, delta)
+        total = sum(coefficients[i] * poly(i) for i in indices)
+        assert total == delta * poly(0)
+
+    def test_wrong_delta_detected(self):
+        with pytest.raises(ValueError):
+            lagrange_at_zero([1, 2, 7], delta=1)

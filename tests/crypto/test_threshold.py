@@ -1,0 +1,111 @@
+"""Tests for non-interactive threshold decryption."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    combine_partial_decryptions,
+    decrypt,
+    encrypt,
+    generate_threshold_keypair,
+    homomorphic_add,
+    partial_decrypt,
+)
+
+
+class TestThresholdDecryption:
+    def test_exact_threshold(self, threshold_keypair, crypto_rng):
+        tk = threshold_keypair
+        c = encrypt(tk.public, 424242, rng=crypto_rng)
+        partials = {
+            s.index: partial_decrypt(tk.context, s, c) for s in tk.shares[:3]
+        }
+        assert combine_partial_decryptions(tk.context, partials) == 424242
+
+    def test_any_share_subset(self, threshold_keypair, crypto_rng):
+        tk = threshold_keypair
+        c = encrypt(tk.public, 777, rng=crypto_rng)
+        for picks in ([0, 4, 8], [1, 2, 3], [2, 5, 7]):
+            partials = {
+                tk.shares[i].index: partial_decrypt(tk.context, tk.shares[i], c)
+                for i in picks
+            }
+            assert combine_partial_decryptions(tk.context, partials) == 777
+
+    def test_extra_shares_ignored(self, threshold_keypair, crypto_rng):
+        tk = threshold_keypair
+        c = encrypt(tk.public, 31337, rng=crypto_rng)
+        partials = {
+            s.index: partial_decrypt(tk.context, s, c) for s in tk.shares[:5]
+        }
+        assert combine_partial_decryptions(tk.context, partials) == 31337
+
+    def test_below_threshold_raises(self, threshold_keypair, crypto_rng):
+        tk = threshold_keypair
+        c = encrypt(tk.public, 1, rng=crypto_rng)
+        partials = {
+            s.index: partial_decrypt(tk.context, s, c) for s in tk.shares[:2]
+        }
+        with pytest.raises(ValueError):
+            combine_partial_decryptions(tk.context, partials)
+
+    def test_matches_plain_private_key(self, threshold_keypair, crypto_rng):
+        tk = threshold_keypair
+        c = encrypt(tk.public, 2024, rng=crypto_rng)
+        assert decrypt(tk.private, c) == 2024
+
+    def test_homomorphic_then_threshold(self, threshold_keypair, crypto_rng):
+        """The Chiaroscuro pattern: aggregate first, threshold-decrypt after."""
+        tk = threshold_keypair
+        total = 0
+        c = encrypt(tk.public, 0, rng=crypto_rng)
+        for value in (10, 200, 3000, 40000):
+            total += value
+            c = homomorphic_add(
+                tk.public, c, encrypt(tk.public, value, rng=crypto_rng)
+            )
+        partials = {
+            s.index: partial_decrypt(tk.context, s, c) for s in tk.shares[3:6]
+        }
+        assert combine_partial_decryptions(tk.context, partials) == total
+
+    def test_s2_threshold(self, threshold_keypair_s2, crypto_rng):
+        tk = threshold_keypair_s2
+        value = 2**300 + 99
+        c = encrypt(tk.public, value, rng=crypto_rng)
+        partials = {
+            s.index: partial_decrypt(tk.context, s, c)
+            for s in (tk.shares[0], tk.shares[10], tk.shares[23])
+        }
+        assert combine_partial_decryptions(tk.context, partials) == value
+
+    @settings(max_examples=10, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=2**64), seed=st.integers(0, 2**31))
+    def test_threshold_roundtrip_property(self, threshold_keypair, value, seed):
+        tk = threshold_keypair
+        rng = random.Random(seed)
+        c = encrypt(tk.public, value, rng=rng)
+        picked = rng.sample(tk.shares, tk.context.threshold)
+        partials = {s.index: partial_decrypt(tk.context, s, c) for s in picked}
+        assert combine_partial_decryptions(tk.context, partials) == value
+
+
+class TestKeyDealing:
+    def test_context_parameters(self, threshold_keypair):
+        ctx = threshold_keypair.context
+        assert ctx.n_shares == 9
+        assert ctx.threshold == 3
+        import math
+
+        assert ctx.delta == math.factorial(9)
+
+    def test_share_indices_unique(self, threshold_keypair):
+        indices = [s.index for s in threshold_keypair.shares]
+        assert len(set(indices)) == len(indices)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            generate_threshold_keypair(256, n_shares=3, threshold=5)

@@ -1,0 +1,31 @@
+"""Tests for the churn model."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import ChurnModel
+
+
+class TestChurnModel:
+    def test_mask_rate(self):
+        model = ChurnModel(per_iteration=0.3)
+        rng = np.random.default_rng(0)
+        mask = model.iteration_mask(100_000, rng)
+        assert mask.mean() == pytest.approx(0.7, abs=0.01)
+
+    def test_never_empty(self):
+        model = ChurnModel(per_iteration=0.999)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            assert model.iteration_mask(10, rng).any()
+
+    def test_zero_churn_all_online(self):
+        model = ChurnModel()
+        mask = model.iteration_mask(50, np.random.default_rng(2))
+        assert mask.all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnModel(per_exchange=1.0)
+        with pytest.raises(ValueError):
+            ChurnModel(per_iteration=-0.1)

@@ -1,0 +1,57 @@
+"""Tests for min-identifier epidemic dissemination."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import GossipEngine, MinIdDissemination
+
+
+class TestDissemination:
+    def test_everyone_learns_global_minimum(self):
+        proposals = {i: (1000 - i, f"payload-{i}") for i in range(40)}
+        engine = GossipEngine(40, seed=0)
+        protocol = MinIdDissemination(proposals)
+        engine.setup(protocol)
+        engine.run_cycles(15, protocol)
+        winner = min(proposals.values(), key=lambda p: p[0])
+        for node in engine.nodes:
+            assert protocol.value_of(node) == winner
+        assert protocol.converged(engine.nodes)
+
+    def test_partial_proposals(self):
+        """Nodes without a proposal adopt what they hear."""
+        proposals = {0: (5, "a"), 1: (3, "b")}
+        engine = GossipEngine(20, seed=1)
+        protocol = MinIdDissemination(proposals)
+        engine.setup(protocol)
+        engine.run_cycles(15, protocol)
+        for node in engine.nodes:
+            assert protocol.value_of(node) == (3, "b")
+
+    def test_numpy_payloads_compare_by_identifier(self):
+        """Payloads may be arrays — comparison must use identifiers only."""
+        proposals = {
+            i: (i + 1, np.full(3, float(i))) for i in range(10)
+        }
+        engine = GossipEngine(10, seed=2)
+        protocol = MinIdDissemination(proposals)
+        engine.setup(protocol)
+        engine.run_cycles(10, protocol)
+        identifier, payload = protocol.value_of(engine.nodes[7])
+        assert identifier == 1
+        assert np.allclose(payload, 0.0)
+
+    def test_not_converged_initially(self):
+        proposals = {i: (i, i) for i in range(10)}
+        engine = GossipEngine(10, seed=3)
+        protocol = MinIdDissemination(proposals)
+        engine.setup(protocol)
+        assert not protocol.converged(engine.nodes)
+
+    def test_dissemination_under_churn(self):
+        proposals = {i: (i + 1, i) for i in range(50)}
+        engine = GossipEngine(50, seed=4, churn=0.3)
+        protocol = MinIdDissemination(proposals)
+        engine.setup(protocol)
+        engine.run_cycles(40, protocol)
+        assert protocol.converged(engine.nodes)

@@ -1,0 +1,72 @@
+"""Tests for the Newscast-style peer sampling layer."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.gossip import GossipEngine, NewscastView
+
+
+class TestViews:
+    def test_initial_views_bounded_and_exclude_self(self):
+        engine = GossipEngine(50, seed=0)
+        protocol = NewscastView(50, view_size=10)
+        engine.setup(protocol)
+        for node in engine.nodes:
+            view = protocol.view_of(node)
+            assert len(view) == 10
+            assert node.node_id not in view
+
+    def test_views_stay_bounded_after_exchanges(self):
+        engine = GossipEngine(50, seed=1)
+        protocol = NewscastView(50, view_size=10)
+        engine.setup(protocol)
+        engine.run_cycles(20, protocol)
+        for node in engine.nodes:
+            assert len(protocol.view_of(node)) <= 10
+            assert node.node_id not in protocol.view_of(node)
+
+    def test_fresh_descriptors_injected(self):
+        """After an exchange, each party knows the other (age 0 entries)."""
+        engine = GossipEngine(10, seed=2)
+        protocol = NewscastView(10, view_size=5)
+        engine.setup(protocol)
+        a, b = engine.nodes[0], engine.nodes[1]
+        protocol.exchange(a, b, random.Random(0))
+        assert b.node_id in protocol.view_of(a)
+        assert a.node_id in protocol.view_of(b)
+
+    def test_ages_increase(self):
+        engine = GossipEngine(10, seed=3)
+        protocol = NewscastView(10, view_size=5)
+        engine.setup(protocol)
+        a, b = engine.nodes[0], engine.nodes[1]
+        protocol.exchange(a, b, random.Random(0))
+        # Pre-existing entries aged by one; only the fresh peer descriptor is 0.
+        view = protocol.view_of(a)
+        assert view[b.node_id] == 0
+        assert all(age >= 1 for peer, age in view.items() if peer != b.node_id)
+
+    def test_sampling_mixes_toward_uniform(self):
+        """Samples drawn from evolving views cover the population broadly."""
+        engine = GossipEngine(40, seed=4)
+        protocol = NewscastView(40, view_size=12)
+        engine.setup(protocol)
+        engine.run_cycles(15, protocol)
+        rng = random.Random(5)
+        seen = Counter()
+        for _ in range(2000):
+            node = engine.nodes[rng.randrange(40)]
+            contact = protocol.sample_contact(node, rng)
+            seen[contact] += 1
+        # Every node should be reachable through somebody's view.
+        assert len(seen) >= 35
+
+    def test_sample_contact_empty_view(self):
+        engine = GossipEngine(5, seed=6)
+        protocol = NewscastView(5, view_size=3)
+        engine.setup(protocol)
+        node = engine.nodes[0]
+        node.state["newscast"] = {}
+        assert protocol.sample_contact(node, random.Random(0)) is None

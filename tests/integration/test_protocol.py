@@ -1,0 +1,114 @@
+"""End-to-end integration tests of the full distributed execution sequence
+(Algorithm 1) with real threshold cryptography over the gossip engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChiaroscuroParams, ChiaroscuroRun
+from repro.privacy import Greedy, UniformFast
+
+
+@pytest.fixture(scope="module")
+def toy_params():
+    return ChiaroscuroParams(
+        k=3,
+        max_iterations=3,
+        exchanges=20,
+        tau_fraction=0.13,  # τ = 3 of 24
+        epsilon=1e6,
+        expansion_s=2,
+        use_smoothing=False,
+        theta=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def near_exact_run(toy_dataset, toy_initial_centroids, toy_params, threshold_keypair_s2):
+    """One shared protocol execution with negligible noise (huge ε)."""
+    run = ChiaroscuroRun(
+        toy_dataset,
+        UniformFast(1e6, 3),
+        toy_params,
+        toy_initial_centroids,
+        key_bits=256,
+        seed=3,
+        keypair=threshold_keypair_s2,
+    )
+    return run.run()
+
+
+class TestCorrectness:
+    """Theorem 1: the protocol terminates and outputs at least one centroid."""
+
+    def test_terminates_with_centroids(self, near_exact_run):
+        result, _ = near_exact_run
+        assert result.iterations >= 1
+        assert len(result.centroids) >= 1
+
+    def test_recovers_true_cluster_means(self, near_exact_run, toy_dataset):
+        """With negligible noise, the decrypted means equal the true means."""
+        result, _ = near_exact_run
+        values = toy_dataset.values
+        true_means = np.array(
+            [values[0:8].mean(axis=0), values[8:16].mean(axis=0), values[16:24].mean(axis=0)]
+        )
+        final = result.centroids
+        assert len(final) == 3
+        for mean in true_means:
+            closest = np.min(np.linalg.norm(final - mean, axis=1))
+            assert closest < 0.5
+
+    def test_nodes_agree(self, near_exact_run):
+        """All participants converge to (numerically) the same aggregates."""
+        _, trace = near_exact_run
+        assert all(a < 1e-3 for a in trace.agreement)
+
+    def test_exchange_accounting(self, near_exact_run, toy_params):
+        _, trace = near_exact_run
+        for per_node in trace.exchanges_per_node:
+            assert per_node >= toy_params.exchanges  # at least the EESum cycles
+
+
+class TestPerturbedRun:
+    def test_noise_actually_perturbs(
+        self, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        """With a realistic ε on 24 nodes the DP noise must dominate —
+        the protocol stays correct (terminates, outputs centroids) while
+        the output visibly deviates from the true means."""
+        params = ChiaroscuroParams(
+            k=3, max_iterations=2, exchanges=15, tau_fraction=0.13,
+            epsilon=5.0, expansion_s=2, use_smoothing=False, theta=0.0,
+        )
+        run = ChiaroscuroRun(
+            toy_dataset, Greedy(5.0), params, toy_initial_centroids,
+            key_bits=256, seed=11, keypair=threshold_keypair_s2,
+        )
+        result, _ = run.run()
+        assert result.iterations >= 1
+        assert len(result.centroids) >= 1
+        values = toy_dataset.values
+        true_means = np.array(
+            [values[0:8].mean(axis=0), values[8:16].mean(axis=0), values[16:24].mean(axis=0)]
+        )
+        first = result.history[0].centroids
+        deviation = min(
+            np.linalg.norm(first - m, axis=1).min() for m in true_means
+        )
+        assert deviation > 0.01  # the perturbation is real
+
+    def test_churned_run_still_terminates(
+        self, toy_dataset, toy_initial_centroids, toy_params, threshold_keypair_s2
+    ):
+        run = ChiaroscuroRun(
+            toy_dataset, UniformFast(1e6, 2),
+            ChiaroscuroParams(
+                k=3, max_iterations=2, exchanges=25, tau_fraction=0.13,
+                epsilon=1e6, expansion_s=2, use_smoothing=False, theta=0.0,
+            ),
+            toy_initial_centroids, key_bits=256, seed=5,
+            keypair=threshold_keypair_s2,
+        )
+        result, _ = run.run(churn=0.2)
+        assert result.iterations >= 1
+        assert len(result.centroids) >= 1

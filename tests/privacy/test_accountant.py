@@ -1,0 +1,45 @@
+"""Tests for the privacy accountant."""
+
+import pytest
+
+from repro.privacy import BudgetOverrun, PrivacyAccountant
+
+
+class TestCharging:
+    def test_simple_charge(self):
+        acc = PrivacyAccountant(epsilon_budget=1.0)
+        acc.charge(0.4)
+        assert acc.spent == pytest.approx(0.4)
+        assert acc.remaining == pytest.approx(0.6)
+
+    def test_overrun_detected(self):
+        acc = PrivacyAccountant(epsilon_budget=1.0)
+        acc.charge(0.9)
+        with pytest.raises(BudgetOverrun):
+            acc.charge(0.2)
+
+    def test_exact_spend_with_float_noise(self):
+        """UNIFORM_FAST-style: n charges of ε/n must fit despite round-off."""
+        acc = PrivacyAccountant(epsilon_budget=0.69)
+        for _ in range(10):
+            acc.charge(0.69 / 10)
+        assert acc.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_charges(self):
+        acc = PrivacyAccountant(epsilon_budget=1.0)
+        with pytest.raises(ValueError):
+            acc.charge(0.0)
+        with pytest.raises(ValueError):
+            acc.charge(0.1, n_values=0)
+
+
+class TestDeltaComposition:
+    def test_delta_power(self):
+        acc = PrivacyAccountant(epsilon_budget=10.0, delta_atom=0.999)
+        acc.charge(1.0, n_values=48)
+        assert acc.delta_global == pytest.approx(0.999**48)
+
+    def test_delta_one_stays_one(self):
+        acc = PrivacyAccountant(epsilon_budget=10.0)
+        acc.charge(1.0, n_values=100)
+        assert acc.delta_global == 1.0

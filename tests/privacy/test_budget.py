@@ -1,0 +1,127 @@
+"""Tests for the budget-concentration strategies (Sec. 5.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    BudgetExhausted,
+    Greedy,
+    GreedyFloor,
+    UniformFast,
+    strategy_from_name,
+)
+
+EPS = 0.69  # Table 2
+
+
+class TestGreedy:
+    def test_exponential_decay(self):
+        g = Greedy(EPS)
+        assert g.epsilon_for(1) == pytest.approx(EPS / 2)
+        assert g.epsilon_for(2) == pytest.approx(EPS / 4)
+        assert g.epsilon_for(10) == pytest.approx(EPS / 1024)
+
+    def test_never_exceeds_budget(self):
+        g = Greedy(EPS)
+        assert sum(g.schedule(64)) <= EPS
+
+    def test_no_iteration_bound(self):
+        assert Greedy(EPS).max_iterations() is None
+
+    def test_one_indexed(self):
+        with pytest.raises(ValueError):
+            Greedy(EPS).epsilon_for(0)
+
+
+class TestGreedyFloor:
+    def test_floor_assignment(self):
+        gf = GreedyFloor(EPS, floor_size=4)
+        # first floor: ε/(2·4) each
+        for i in (1, 2, 3, 4):
+            assert gf.epsilon_for(i) == pytest.approx(EPS / 8)
+        # second floor: ε/(4·4) each
+        for i in (5, 6, 7, 8):
+            assert gf.epsilon_for(i) == pytest.approx(EPS / 16)
+
+    def test_never_exceeds_budget(self):
+        gf = GreedyFloor(EPS, floor_size=4)
+        assert sum(gf.schedule(200)) <= EPS
+
+    def test_floor_one_is_greedy(self):
+        g, gf = Greedy(EPS), GreedyFloor(EPS, floor_size=1)
+        for i in range(1, 12):
+            assert gf.epsilon_for(i) == pytest.approx(g.epsilon_for(i))
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            GreedyFloor(EPS, floor_size=0)
+
+
+class TestUniformFast:
+    def test_uniform_split(self):
+        uf = UniformFast(EPS, n_iterations=5)
+        for i in range(1, 6):
+            assert uf.epsilon_for(i) == pytest.approx(EPS / 5)
+
+    def test_hard_bound(self):
+        uf = UniformFast(EPS, n_iterations=5)
+        with pytest.raises(BudgetExhausted):
+            uf.epsilon_for(6)
+
+    def test_exactly_spends_budget(self):
+        uf = UniformFast(EPS, n_iterations=10)
+        assert sum(uf.schedule(10)) == pytest.approx(EPS)
+
+    def test_max_iterations(self):
+        assert UniformFast(EPS, 7).max_iterations() == 7
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(strategy_from_name("G", EPS), Greedy)
+        assert isinstance(strategy_from_name("GF", EPS), GreedyFloor)
+        uf = strategy_from_name("UF10", EPS)
+        assert isinstance(uf, UniformFast) and uf.n_iterations == 10
+
+    def test_labels(self):
+        assert strategy_from_name("G", EPS).name == "G"
+        assert strategy_from_name("GF", EPS).name == "GF"
+        assert strategy_from_name("UF5", EPS).name == "UF5"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            strategy_from_name("XYZ", EPS)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            Greedy(0.0)
+
+
+class TestBudgetInvariant:
+    """Property: no strategy ever spends more than ε over any horizon."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        epsilon=st.floats(min_value=0.01, max_value=10.0),
+        horizon=st.integers(min_value=1, max_value=60),
+        floor=st.integers(min_value=1, max_value=8),
+        uf_n=st.integers(min_value=1, max_value=20),
+    )
+    def test_total_spend_bounded(self, epsilon, horizon, floor, uf_n):
+        for strategy in (
+            Greedy(epsilon),
+            GreedyFloor(epsilon, floor_size=floor),
+            UniformFast(epsilon, n_iterations=uf_n),
+        ):
+            bound = strategy.max_iterations()
+            steps = horizon if bound is None else min(horizon, bound)
+            assert sum(strategy.schedule(steps)) <= epsilon * (1 + 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(horizon=st.integers(min_value=2, max_value=30))
+    def test_greedy_monotone_decreasing(self, horizon):
+        schedule = Greedy(1.0).schedule(horizon)
+        assert all(a > b for a, b in zip(schedule, schedule[1:]))

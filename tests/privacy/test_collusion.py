@@ -1,0 +1,38 @@
+"""Tests for the Appendix B.3 collusion analysis."""
+
+import pytest
+
+from repro.privacy import CollusionAnalysis
+
+
+class TestCollusion:
+    def test_paper_example(self):
+        """One million participants, c colluders → (10⁶ − c)/10⁶ unknown."""
+        analysis = CollusionAnalysis(
+            population=10**6, n_shares=10**6, threshold=100, collusions=1000
+        )
+        assert analysis.unknown_noise_fraction == pytest.approx(0.999)
+
+    def test_linear_decay(self):
+        fractions = [
+            CollusionAnalysis(1000, 1000, 10, c).unknown_noise_fraction
+            for c in (0, 100, 200, 300)
+        ]
+        diffs = [a - b for a, b in zip(fractions, fractions[1:])]
+        assert all(d == pytest.approx(0.1) for d in diffs)
+
+    def test_key_compromise_boundary(self):
+        below = CollusionAnalysis(100, 100, 10, 9)
+        at = CollusionAnalysis(100, 100, 10, 10)
+        assert not below.key_compromised and below.missing_key_shares == 1
+        assert at.key_compromised and at.missing_key_shares == 0
+
+    def test_residual_shape(self):
+        analysis = CollusionAnalysis(100, 100, 5, 25)
+        assert analysis.residual_noise_shape() == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollusionAnalysis(10, 10, 3, 11)
+        with pytest.raises(ValueError):
+            CollusionAnalysis(10, 10, 0, 1)

@@ -1,0 +1,139 @@
+"""Cross-module property-based tests of the system's load-bearing invariants.
+
+These complement the per-module suites with randomized, end-to-end checks:
+the algebra that makes Chiaroscuro *correct* (App. C) and the calibration
+that makes it *private* (App. B) hold over the whole input space hypothesis
+can reach, not just the hand-picked examples.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import assign_to_closest, compute_means, intra_inertia
+from repro.core import sma_smooth
+from repro.crypto import FixedPointCodec, decrypt, encrypt
+from repro.gossip import EESum, EpidemicSum, GossipEngine
+from repro.privacy import Greedy, GreedyFloor, UniformFast, laplace_scale
+
+
+class TestEESumInvariants:
+    """Mass conservation — the invariant behind App. C.2.1's equivalence."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_nodes=st.integers(4, 12),
+        cycles=st.integers(1, 8),
+    )
+    def test_encrypted_mass_conservation(self, keypair_s2, seed, n_nodes, cycles):
+        """Σ (decrypted value / 2^count) over nodes is invariant: exchanges
+        redistribute mass, never create or destroy it."""
+        codec = FixedPointCodec(keypair_s2.public, fractional_bits=16)
+        rng = random.Random(seed)
+        values = [rng.uniform(-50, 50) for _ in range(n_nodes)]
+        initial = {
+            i: [encrypt(keypair_s2.public, codec.encode(v), rng=rng)]
+            for i, v in enumerate(values)
+        }
+        engine = GossipEngine(n_nodes, seed=seed)
+        protocol = EESum(keypair_s2.public, initial)
+        engine.setup(protocol)
+        engine.run_cycles(cycles, protocol)
+        total = 0.0
+        for node in engine.nodes:
+            state = protocol.state_of(node)
+            decoded = codec.decode(decrypt(keypair_s2, state.ciphertexts[0]))
+            total += decoded / (2.0**state.count)
+        assert total == pytest.approx(sum(values), abs=1e-2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_nodes=st.integers(4, 30))
+    def test_cleartext_weight_conservation(self, seed, n_nodes):
+        engine = GossipEngine(n_nodes, seed=seed)
+        protocol = EpidemicSum({i: np.array([1.0]) for i in range(n_nodes)})
+        engine.setup(protocol)
+        engine.run_cycles(5, protocol)
+        omega_total = sum(n.state["episum"]["omega"] for n in engine.nodes)
+        assert omega_total == pytest.approx(1.0)
+
+
+class TestBudgetInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        epsilon=st.floats(0.05, 5.0),
+        horizon=st.integers(1, 40),
+        floor=st.integers(1, 6),
+    )
+    def test_all_strategies_bounded_and_positive(self, epsilon, horizon, floor):
+        for strategy in (Greedy(epsilon), GreedyFloor(epsilon, floor)):
+            schedule = strategy.schedule(horizon)
+            assert all(s > 0 for s in schedule)
+            assert sum(schedule) <= epsilon * (1 + 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(epsilon=st.floats(0.05, 5.0), sensitivity=st.floats(0.1, 1e5))
+    def test_laplace_scale_monotone(self, epsilon, sensitivity):
+        """More budget → less noise; more sensitivity → more noise."""
+        assert laplace_scale(sensitivity, epsilon) > laplace_scale(
+            sensitivity, epsilon * 2
+        )
+        assert laplace_scale(sensitivity * 2, epsilon) > laplace_scale(
+            sensitivity, epsilon
+        )
+
+
+class TestClusteringInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(2, 6))
+    def test_lloyd_step_never_increases_inertia(self, seed, k):
+        """One assignment+recompute step is non-increasing in inertia — the
+        monotonicity k-means convergence rests on."""
+        rng = np.random.default_rng(seed)
+        series = rng.normal(size=(60, 4)) * 5
+        centroids = rng.normal(size=(k, 4)) * 5
+        labels = assign_to_closest(series, centroids)
+        before = intra_inertia(series, centroids, labels)
+        means, counts = compute_means(series, labels, k)
+        alive = counts > 0
+        means = means[alive]
+        relabels = assign_to_closest(series, means)
+        after = intra_inertia(series, means, relabels)
+        assert after <= before + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_smoothing_is_linear(self, seed):
+        """SMA is a linear operator: smooth(a + b) == smooth(a) + smooth(b)
+        — the property that makes smoothing commute with the sum/count
+        division in Sec. 5.2."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(3, 12))
+        b = rng.normal(size=(3, 12))
+        assert np.allclose(
+            sma_smooth(a + b, 4), sma_smooth(a, 4) + sma_smooth(b, 4), atol=1e-9
+        )
+
+
+class TestCodecCompositionality:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=1, max_size=8),
+        seed=st.integers(0, 2**31),
+    )
+    def test_homomorphic_sum_of_reals(self, keypair128, values, seed):
+        """encode → encrypt → homomorphic-sum → decrypt → decode == sum."""
+        from repro.crypto import homomorphic_add
+
+        pub = keypair128.public
+        codec = FixedPointCodec(pub, fractional_bits=24)
+        rng = random.Random(seed)
+        acc = encrypt(pub, 0, rng=rng)
+        for v in values:
+            acc = homomorphic_add(pub, acc, encrypt(pub, codec.encode(v), rng=rng))
+        assert codec.decode(decrypt(keypair128, acc)) == pytest.approx(
+            sum(values), abs=1e-4
+        )

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.dataset == "cer"
+        assert args.strategy == "G"
+        assert args.epsilon == 0.69
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_plan_reproduces_paper_numbers(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "plan", "--delta", "0.995", "--e-max", "1e-12",
+                "--population", "1000000", "--iterations", "10", "--length", "24",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "n_e = 47" in text
+        assert "480-th root" in text
+
+    def test_costs_sheet(self):
+        out = io.StringIO()
+        code = main(["costs", "--key-bits", "256", "--k", "5", "--length", "8"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "means set" in text
+        assert "kB" in text
+
+    def test_cluster_small_run(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "cluster", "--dataset", "cer", "--series", "1500", "--scale", "200",
+                "--k", "8", "--strategy", "UF3", "--iterations", "5", "--seed", "1",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "strategy=UF3_SMA" in text
+        assert "best iteration:" in text
+        # UF3 stops at its bound even though 5 iterations were requested.
+        assert text.count("\n") < 20
+
+    def test_cluster_numed_no_smoothing(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "cluster", "--dataset", "numed", "--series", "1200", "--scale", "100",
+                "--k", "6", "--strategy", "G", "--iterations", "3",
+                "--no-smoothing", "--seed", "2",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "strategy=G " in out.getvalue() or "strategy=G\n" in out.getvalue()
