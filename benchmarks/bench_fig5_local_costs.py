@@ -3,12 +3,19 @@ mean, and a 1024-bit encryption key.
 
 (a) MIN/MAX/AVG wall-times for encrypting a set of means, adding two
     encrypted sets, and threshold-decrypting a set;
-(b) bandwidth for transferring one set of encrypted means.
+(b) bandwidth for transferring one set of encrypted means;
+(c) [extension] the same computation-step workload on the batched
+    ciphertext plane (slot packing + fixed-base randomizer tables) vs the
+    scalar plane: reported speedup, with decoded outputs checked to be
+    bit-identical.
 
 Absolute times differ from the paper's Java measurements (pure-Python
 big-int arithmetic); the *ordering* — add ≪ encrypt < decrypt, with
 decrypt the dominant per-iteration cost — and the bandwidth arithmetic are
 the reproduced shapes.
+
+``test_fig5_batched_smoke`` is the fast CI subset: a small key and few
+means, seconds instead of minutes.
 """
 
 from __future__ import annotations
@@ -18,12 +25,43 @@ import random
 import pytest
 
 from conftest import record_report
-from repro.analysis import LocalCostModel, measure_crypto_costs
+from repro.analysis import (
+    LocalCostModel,
+    compare_scalar_batched_costs,
+    measure_crypto_costs,
+)
 from repro.crypto import encrypt, generate_threshold_keypair, homomorphic_add
 
 K = 50
 MEASURES = 20
 KEY_BITS = 1024
+
+
+def _speedup_rows(res: dict) -> list[str]:
+    rows = [
+        f"{'plane':<10}{'ciphertexts':>12}{'encrypt':>10}{'add':>10}"
+        f"{'decrypt':>10}{'total':>10}"
+    ]
+    for plane, n_cts in (
+        ("scalar", res["scalar_ciphertexts"]),
+        ("batched", res["batched_ciphertexts"]),
+    ):
+        samples = res[plane]
+        total = sum(s.average for s in samples.values())
+        rows.append(
+            f"{plane:<10}{n_cts:>12}"
+            f"{samples['encrypt'].average:>10.3f}{samples['add'].average:>10.3f}"
+            f"{samples['decrypt'].average:>10.3f}{total:>10.3f}"
+        )
+    rows.append(
+        f"slots/ciphertext: {res['slots']}   one-time table build: "
+        f"{res['precompute_seconds']:.3f} s"
+    )
+    rows.append(
+        f"computation-step speedup: {res['speedup']:.1f}x   "
+        f"bit-identical post-decode: {res['identical']}"
+    )
+    return rows
 
 
 @pytest.fixture(scope="module")
@@ -58,6 +96,40 @@ def test_fig5a_crypto_times(benchmark, keypair_1024):
     assert costs["add"].average < costs["encrypt"].average
     assert costs["add"].average < costs["decrypt"].average
     assert costs["decrypt"].average == max(s.average for s in costs.values())
+
+
+def test_fig5c_batched_speedup(keypair_1024):
+    """Acceptance: ≥ 5× on the computation-step local cost at the paper's
+    default key size, bit-identical decoded outputs."""
+    res = compare_scalar_batched_costs(
+        keypair_1024, k=K, series_length=MEASURES, repetitions=1,
+        rng=random.Random(2),
+    )
+    record_report(
+        "fig5c_batched_speedup",
+        f"Fig 5(c) extension: batched vs scalar plane, {K} means × "
+        f"{MEASURES} measures, {KEY_BITS}-bit key",
+        _speedup_rows(res),
+    )
+    assert res["identical"], "batched plane must decode bit-identically"
+    assert res["speedup"] >= 5.0, f"speedup {res['speedup']:.1f}x < 5x"
+
+
+def test_fig5_batched_smoke():
+    """CI smoke: same comparison at a small key size, runs in seconds."""
+    keypair = generate_threshold_keypair(
+        512, n_shares=5, threshold=3, s=1, rng=random.Random(3)
+    )
+    res = compare_scalar_batched_costs(
+        keypair, k=10, series_length=8, repetitions=1, rng=random.Random(4)
+    )
+    record_report(
+        "fig5_batched_smoke",
+        "Fig 5 smoke: batched vs scalar plane, 10 means × 8 measures, 512-bit key",
+        _speedup_rows(res),
+    )
+    assert res["identical"]
+    assert res["speedup"] > 1.5
 
 
 def test_fig5b_bandwidth(benchmark, keypair_1024):

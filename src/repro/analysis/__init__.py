@@ -2,7 +2,13 @@
 per-iteration latency composition (Sec. 6.3.2).
 """
 
-from .costs import CostSample, LocalCostModel, means_set_bytes, measure_crypto_costs
+from .costs import (
+    CostSample,
+    LocalCostModel,
+    compare_scalar_batched_costs,
+    means_set_bytes,
+    measure_crypto_costs,
+)
 from .latency import IterationLatency, LatencyInputs, iteration_latency
 
 __all__ = [
@@ -10,6 +16,7 @@ __all__ = [
     "IterationLatency",
     "LatencyInputs",
     "LocalCostModel",
+    "compare_scalar_batched_costs",
     "iteration_latency",
     "means_set_bytes",
     "measure_crypto_costs",

@@ -6,6 +6,12 @@ the ciphertext length (≈ ``(s+1)``× the key size).  The relationships are
 linear; :class:`LocalCostModel` makes them explicit, and
 :func:`measure_crypto_costs` produces the actually-measured MIN/MAX/AVG
 triplets the Fig. 5(a) bars report, using the real cryptosystem.
+
+:func:`compare_scalar_batched_costs` additionally measures the *batched*
+ciphertext plane (slot packing + fixed-base randomizer tables) against the
+scalar baseline on the same computation-step workload — encrypt one set of
+means, homomorphically add two sets, threshold-decrypt — and verifies the
+decoded outputs are bit-identical between the two planes.
 """
 
 from __future__ import annotations
@@ -14,7 +20,14 @@ import random
 import time
 from dataclasses import dataclass
 
-from ..crypto.damgard_jurik import encrypt, homomorphic_add
+from ..crypto.backend import SerialBackend
+from ..crypto.damgard_jurik import (
+    FastEncryptor,
+    encrypt,
+    homomorphic_add,
+    homomorphic_add_batch,
+)
+from ..crypto.encoding import FixedPointCodec, PackedCodec
 from ..crypto.keys import PublicKey
 from ..crypto.threshold import (
     ThresholdKeypair,
@@ -22,7 +35,13 @@ from ..crypto.threshold import (
     partial_decrypt,
 )
 
-__all__ = ["LocalCostModel", "CostSample", "measure_crypto_costs", "means_set_bytes"]
+__all__ = [
+    "LocalCostModel",
+    "CostSample",
+    "compare_scalar_batched_costs",
+    "measure_crypto_costs",
+    "means_set_bytes",
+]
 
 
 def means_set_bytes(public: PublicKey, k: int, series_length: int, with_count: bool = True) -> int:
@@ -109,19 +128,132 @@ def measure_crypto_costs(
         added = [homomorphic_add(public, a, b) for a, b in zip(set_a, set_b)]
         add_times.append(time.perf_counter() - start)
 
-        tau = keypair.context.threshold
-        shares = keypair.shares[:tau]
         start = time.perf_counter()
-        for ciphertext in added:
-            partials = {
-                share.index: partial_decrypt(keypair.context, share, ciphertext)
-                for share in shares
-            }
-            combine_partial_decryptions(keypair.context, partials)
+        _threshold_decrypt_all(keypair, added)
         decrypt_times.append(time.perf_counter() - start)
 
     return {
         "encrypt": CostSample.from_times(encrypt_times),
         "add": CostSample.from_times(add_times),
         "decrypt": CostSample.from_times(decrypt_times),
+    }
+
+
+def _threshold_decrypt_all(
+    keypair: ThresholdKeypair, ciphertexts: list[int]
+) -> list[int]:
+    """τ partial decryptions + combination for every ciphertext (timed path)."""
+    tau = keypair.context.threshold
+    shares = keypair.shares[:tau]
+    plaintexts = []
+    for ciphertext in ciphertexts:
+        partials = {
+            share.index: partial_decrypt(keypair.context, share, ciphertext)
+            for share in shares
+        }
+        plaintexts.append(combine_partial_decryptions(keypair.context, partials))
+    return plaintexts
+
+
+def compare_scalar_batched_costs(
+    keypair: ThresholdKeypair,
+    k: int = 50,
+    series_length: int = 20,
+    repetitions: int = 1,
+    rng: random.Random | None = None,
+    fractional_bits: int = 24,
+    max_abs_value: float = 1000.0,
+    window_bits: int = 6,
+) -> dict:
+    """Measure the computation-step local cost on both ciphertext planes.
+
+    The workload mirrors :func:`measure_crypto_costs` — encrypt one set of
+    ``k·(series_length+1)`` means values, homomorphically add two sets,
+    threshold-decrypt the result — once per plane over identical input
+    values.  The batched plane packs values with :class:`PackedCodec`
+    (accumulation sized for the two-set sum) and amortizes randomizers with
+    a :class:`FastEncryptor` table whose one-time build cost is reported
+    separately as ``precompute_seconds`` (a protocol run pays it once).
+
+    Returns a dict with per-plane ``CostSample`` maps, the per-plane
+    ciphertext counts, the end-to-end ``speedup`` (scalar total / batched
+    total), and ``identical`` — whether both planes decoded bit-identical
+    float vectors.
+    """
+    rng = rng or random.Random(7)
+    public = keypair.public
+    count = k * (series_length + 1)
+    values = [rng.uniform(-max_abs_value, max_abs_value) for _ in range(count)]
+
+    codec = FixedPointCodec(public, fractional_bits=fractional_bits)
+    packed = PackedCodec.plan(
+        public,
+        fractional_bits=fractional_bits,
+        max_abs_value=max_abs_value,
+        population=1,
+        exchanges=1,
+        terms=2,  # two biased sets are summed before decryption
+    )
+
+    start = time.perf_counter()
+    encryptor = FastEncryptor(public, rng, window_bits=window_bits)
+    precompute_seconds = time.perf_counter() - start
+    batched_backend = SerialBackend(encryptor)
+
+    results: dict[str, dict[str, CostSample]] = {}
+    decoded: dict[str, list[float]] = {}
+
+    # --- scalar plane (the seed implementation's layout) -----------------
+    times: dict[str, list[float]] = {"encrypt": [], "add": [], "decrypt": []}
+    for _ in range(repetitions):
+        plaintexts = [codec.encode(v) for v in values]
+        start = time.perf_counter()
+        set_a = [encrypt(public, m, rng=rng) for m in plaintexts]
+        times["encrypt"].append(time.perf_counter() - start)
+        set_b = [encrypt(public, m, rng=rng) for m in plaintexts]
+        start = time.perf_counter()
+        added = [homomorphic_add(public, a, b) for a, b in zip(set_a, set_b)]
+        times["add"].append(time.perf_counter() - start)
+        start = time.perf_counter()
+        residues = _threshold_decrypt_all(keypair, added)
+        times["decrypt"].append(time.perf_counter() - start)
+        decoded["scalar"] = [codec.decode(r) for r in residues]
+    results["scalar"] = {op: CostSample.from_times(t) for op, t in times.items()}
+    scalar_ciphertexts = count
+
+    # --- batched plane (packing + fixed-base randomizers) ----------------
+    times = {"encrypt": [], "add": [], "decrypt": []}
+    for _ in range(repetitions):
+        # Encoding (pack) stays outside the timer, mirroring the scalar
+        # loop where codec.encode runs before the clock starts.
+        packed_plaintexts = packed.pack(values)
+        start = time.perf_counter()
+        set_a = batched_backend.encrypt_batch(public, packed_plaintexts, rng)
+        times["encrypt"].append(time.perf_counter() - start)
+        set_b = batched_backend.encrypt_batch(public, packed_plaintexts, rng)
+        start = time.perf_counter()
+        added = homomorphic_add_batch(public, set_a, set_b)
+        times["add"].append(time.perf_counter() - start)
+        start = time.perf_counter()
+        plaintexts = _threshold_decrypt_all(keypair, added)
+        times["decrypt"].append(time.perf_counter() - start)
+        decoded["batched"] = packed.unpack(plaintexts, count, bias_multiplier=2)
+    results["batched"] = {op: CostSample.from_times(t) for op, t in times.items()}
+    batched_ciphertexts = len(added)
+
+    totals = {
+        plane: sum(sample.average for sample in samples.values())
+        for plane, samples in results.items()
+    }
+    return {
+        "scalar": results["scalar"],
+        "batched": results["batched"],
+        "speedup": totals["scalar"] / totals["batched"],
+        "identical": decoded["scalar"] == decoded["batched"],
+        "slots": packed.slots,
+        "scalar_ciphertexts": scalar_ciphertexts,
+        "batched_ciphertexts": batched_ciphertexts,
+        "precompute_seconds": precompute_seconds,
+        "scalar_seconds": totals["scalar"],
+        "batched_seconds": totals["batched"],
     }

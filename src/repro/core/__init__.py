@@ -3,6 +3,7 @@ sequence (Algorithms 1-3) with real threshold cryptography, and the
 perturbed centralized k-means quality plane.
 """
 
+from .batching import CiphertextPlane, PackedPlane, ScalarPlane
 from .computation import ComputationOutput, ComputationStep
 from .config import ChiaroscuroParams
 from .diptych import Diptych, EncryptedMean, initialize_means
@@ -19,6 +20,9 @@ from .verification import CrossCheckReport, DecryptionCrossCheck, DeviceRegistry
 __all__ = [
     "ChiaroscuroParams",
     "ChiaroscuroRun",
+    "CiphertextPlane",
+    "PackedPlane",
+    "ScalarPlane",
     "ClusteringResult",
     "ComputationOutput",
     "ComputationStep",

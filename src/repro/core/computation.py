@@ -29,7 +29,8 @@ import random
 
 import numpy as np
 
-from ..crypto.damgard_jurik import homomorphic_add
+from ..crypto.backend import CryptoBackend
+from ..crypto.damgard_jurik import homomorphic_add_batch
 from ..crypto.encoding import FixedPointCodec
 from ..crypto.threshold import ThresholdKeypair
 from ..gossip.aggregation import EpidemicSum
@@ -37,7 +38,8 @@ from ..gossip.decryption import EpidemicDecryption
 from ..gossip.dissemination import MinIdDissemination
 from ..gossip.eesum import EESum
 from ..gossip.engine import GossipEngine
-from .noise import NoisePlan, encrypt_share_vector
+from .batching import CiphertextPlane, ScalarPlane
+from .noise import NoisePlan
 
 __all__ = ["ComputationStep", "ComputationOutput"]
 
@@ -68,7 +70,16 @@ class ComputationOutput:
 
 
 class ComputationStep:
-    """Algorithm 3, parameterized by the crypto material and epidemic knobs."""
+    """Algorithm 3, parameterized by the crypto material and epidemic knobs.
+
+    ``plane`` selects the ciphertext representation (scalar vs packed —
+    see :mod:`repro.core.batching`); every bulk crypto operation goes
+    through the plane's backend as a batch.  The supplied ``mean_vectors``
+    must be laid out by the *same* plane (``Participant`` takes one).
+    When ``plane`` is omitted a scalar plane over ``codec`` is built,
+    preserving the seed implementation's one-ciphertext-per-value wire
+    format.
+    """
 
     def __init__(
         self,
@@ -78,6 +89,8 @@ class ComputationStep:
         exchanges: int,
         crypto_rng: random.Random,
         noise_rng: np.random.Generator,
+        plane: CiphertextPlane | None = None,
+        backend: CryptoBackend | None = None,
     ) -> None:
         self.keypair = keypair
         self.codec = codec
@@ -85,6 +98,12 @@ class ComputationStep:
         self.exchanges = exchanges
         self.crypto_rng = crypto_rng
         self.noise_rng = noise_rng
+        if plane is not None and backend is not None:
+            raise ValueError(
+                "pass either plane or backend, not both — a plane carries "
+                "its own backend"
+            )
+        self.plane = plane or ScalarPlane(keypair.public, codec, backend)
 
     def run(
         self,
@@ -93,25 +112,34 @@ class ComputationStep:
     ) -> ComputationOutput:
         """Execute the computation step for every node of ``engine``.
 
-        ``mean_vectors`` maps node id → flattened encrypted means
-        (``k·(n+1)`` ciphertexts, the Alg. 1 l.6 initialization).
+        ``mean_vectors`` maps node id → flattened encrypted means (the
+        Alg. 1 l.6 initialization): ``k·(n+1)`` ciphertexts on the scalar
+        plane, ``packed_length(k·(n+1))`` on the packed plane.
         """
         public = self.keypair.public
+        plane = self.plane
         node_ids = [node.node_id for node in engine.nodes]
         dims = self.noise_plan.dimensions
+        payload = plane.packed_length(dims)
 
         # --- local noise-share generation (Alg. 3 l.4) -------------------
         shares = {i: self.noise_plan.draw_share(self.noise_rng) for i in node_ids}
         noise_vectors = {
-            i: encrypt_share_vector(public, self.codec, shares[i], self.crypto_rng)
-            for i in node_ids
+            i: plane.encrypt_values(shares[i], self.crypto_rng) for i in node_ids
         }
 
         # --- background epidemic sums (Alg. 3 l.2 & l.5) -----------------
         # Means and noise ride the same EESum instance so their delayed-
         # division scales stay aligned; the cleartext counter gossips on
-        # the same exchange stream.
-        combined = {i: mean_vectors[i] + noise_vectors[i] for i in node_ids}
+        # the same exchange stream.  On the packed plane one tracker
+        # ciphertext E(1) per node rides along too: it converges to the
+        # EESum coefficient total C, which exact unpacking needs.
+        combined = {
+            i: mean_vectors[i]
+            + noise_vectors[i]
+            + plane.tracker_ciphertexts(self.crypto_rng)
+            for i in node_ids
+        }
         eesum = EESum(public, combined)
         counter = EpidemicSum({i: np.array([1.0]) for i in node_ids})
         engine.setup(eesum, counter)
@@ -131,21 +159,24 @@ class ComputationStep:
         engine.run_cycles(self.exchanges, dissemination)
 
         # --- encrypted perturbation (Alg. 3 l.7) --------------------------
+        # Batched: one element-wise homomorphic add of the means half and
+        # the noise half; the tracker (if any) passes through untouched.
         bundles: dict[int, tuple[list[int], int]] = {}
         for node in engine.nodes:
             state = eesum.state_of(node)
-            means_part = state.ciphertexts[:dims]
-            noise_part = state.ciphertexts[dims:]
-            perturbed = [
-                homomorphic_add(public, m, v) for m, v in zip(means_part, noise_part)
-            ]
-            bundles[node.node_id] = (perturbed, state.omega)
+            means_part = state.ciphertexts[:payload]
+            noise_part = state.ciphertexts[payload : 2 * payload]
+            tracker_part = state.ciphertexts[2 * payload :]
+            perturbed = homomorphic_add_batch(public, means_part, noise_part)
+            bundles[node.node_id] = (perturbed + tracker_part, state.omega)
 
         # --- epidemic decryption (Alg. 3 l.8-10) ---------------------------
         key_shares = {
             i: self.keypair.shares[i % len(self.keypair.shares)] for i in node_ids
         }
-        decryption = EpidemicDecryption(self.keypair.context, bundles, key_shares)
+        decryption = EpidemicDecryption(
+            self.keypair.context, bundles, key_shares, backend=plane.backend
+        )
         engine.setup(decryption)
         for _ in range(10 * self.exchanges):
             engine.run_cycle(decryption)
@@ -159,7 +190,7 @@ class ComputationStep:
             plaintexts, omega = decryption.plaintexts_of(node)
             if omega <= 0:
                 continue
-            values = np.array([self.codec.decode(p) for p in plaintexts])
+            values = plane.decode_sums(plaintexts, dims, bias_terms=2)
             values /= float(omega)  # σ/ω — the epidemic sum estimate
             correction_entry = dissemination.value_of(node)
             if correction_entry is not None:

@@ -28,6 +28,18 @@ class ChiaroscuroParams:
     the population), privacy level ``epsilon`` (Table 2 uses ln 2 ≈ 0.69),
     ``delta``, and the noise-share count ``n_nu`` as a fraction of the
     population (Table 2: 100%).
+
+    Execution block (implementation, not paper): ``crypto_backend`` selects
+    how ciphertext batches are evaluated (``"serial"`` in-process or
+    ``"process"`` over a worker pool with ``backend_workers`` processes,
+    0 = one per CPU); ``use_packing`` switches the computation step to the
+    slot-packed ciphertext plane when the plaintext space allows it.
+    Backend choice is fully result-neutral (bit-identical runs for the same
+    seed).  Plane choice is result-neutral at the decode level — a packed
+    accumulation decodes to exactly the scalar plane's integers — but a
+    full protocol run consumes the crypto RNG differently per plane
+    (fewer ciphertexts → fewer seeds), so seeded runs are reproducible
+    *per plane*, not across planes.
     """
 
     # k-means
@@ -54,6 +66,11 @@ class ChiaroscuroParams:
     smoothing_fraction: float = 0.2  # SMA window = 20 % of series length
     use_smoothing: bool = True
 
+    # execution (batched crypto plane)
+    crypto_backend: str = "serial"
+    backend_workers: int = 0  # 0 = one worker per CPU
+    use_packing: bool = True
+
     def __post_init__(self) -> None:
         if self.k < 2:
             raise ValueError("k must be > 1 (Sec. 2.1 requires 1 < k < t)")
@@ -73,6 +90,10 @@ class ChiaroscuroParams:
             raise ValueError("noise_share_fraction must be in (0, 1]")
         if not 0 <= self.smoothing_fraction < 1:
             raise ValueError("smoothing_fraction must be in [0, 1)")
+        if self.crypto_backend not in ("serial", "process"):
+            raise ValueError("crypto_backend must be 'serial' or 'process'")
+        if self.backend_workers < 0:
+            raise ValueError("backend_workers must be >= 0 (0 = one per CPU)")
 
     def tau_count(self, population: int) -> int:
         """Absolute key-share threshold τ for a given population size."""

@@ -72,7 +72,13 @@ def encrypt_share_vector(
     rng: random.Random,
     randomizers: list[int] | None = None,
 ) -> list[int]:
-    """Encode and encrypt a noise-share vector for the EESum stream."""
+    """Encode and encrypt a noise-share vector, one ciphertext per value.
+
+    This is the scalar-plane reference path (kept for tests and the cost
+    baseline); the computation step itself now routes noise encryption
+    through its :class:`repro.core.batching.CiphertextPlane`, which batches
+    the work over a backend and may pack several values per ciphertext.
+    """
     pool = iter(randomizers) if randomizers is not None else None
     ciphertexts = []
     for value in np.asarray(share, dtype=float):

@@ -17,6 +17,7 @@ import numpy as np
 from ..clustering.distance import pairwise_sq_euclidean
 from ..crypto.encoding import FixedPointCodec
 from ..crypto.keys import PublicKey
+from .batching import CiphertextPlane
 from .diptych import initialize_means
 
 __all__ = ["Participant"]
@@ -24,25 +25,45 @@ __all__ = ["Participant"]
 
 @dataclass
 class Participant:
-    """One device: its series, its node id, and its crypto handles."""
+    """One device: its series, its node id, and its crypto handles.
+
+    ``plane`` (optional) switches the means initialization to the batched
+    ciphertext plane: the flattened ``k·(n+1)`` value vector is encoded,
+    packed, and encrypted as one batch.  Without it the per-ciphertext
+    Diptych path of :func:`repro.core.diptych.initialize_means` is used.
+    """
 
     node_id: int
     series: np.ndarray
     public: PublicKey
     codec: FixedPointCodec
+    plane: CiphertextPlane | None = None
 
     def closest_centroid(self, centroids: np.ndarray) -> int:
         """Assignment step: index of the closest cleartext centroid."""
         distances = pairwise_sq_euclidean(self.series[None, :], centroids)[0]
         return int(np.argmin(distances))
 
+    def means_value_vector(self, assigned: int, k: int) -> np.ndarray:
+        """The cleartext flattened means vector: series + count 1 for the
+        assigned cluster, zeros elsewhere (Alg. 1 l.6 semantics)."""
+        stride = len(self.series) + 1
+        values = np.zeros(k * stride)
+        start = assigned * stride
+        values[start : start + stride - 1] = self.series
+        values[start + stride - 1] = 1.0
+        return values
+
     def encrypted_means_vector(
         self, centroids: np.ndarray, rng: random.Random
     ) -> list[int]:
         """Alg. 1 l.5-6: assign locally, return the flattened encrypted means."""
         assigned = self.closest_centroid(centroids)
+        k = len(centroids)
+        if self.plane is not None:
+            return self.plane.encrypt_values(self.means_value_vector(assigned, k), rng)
         means = initialize_means(
-            self.public, self.codec, self.series, assigned, len(centroids), rng
+            self.public, self.codec, self.series, assigned, k, rng
         )
         flat: list[int] = []
         for mean in means:

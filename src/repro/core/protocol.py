@@ -28,12 +28,15 @@ import numpy as np
 
 from ..clustering.distance import assign_to_closest
 from ..clustering.inertia import intra_inertia
-from ..crypto.encoding import FixedPointCodec
+from ..crypto.backend import create_backend
+from ..crypto.damgard_jurik import FastEncryptor
+from ..crypto.encoding import FixedPointCodec, PackedCodec
 from ..crypto.threshold import ThresholdKeypair, generate_threshold_keypair
 from ..datasets.timeseries import TimeSeriesSet
 from ..gossip.engine import GossipEngine
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.budget import BudgetExhausted, BudgetStrategy
+from .batching import PackedPlane, ScalarPlane
 from .computation import ComputationStep
 from .config import ChiaroscuroParams
 from .noise import NoisePlan
@@ -93,14 +96,65 @@ class ChiaroscuroRun:
 
         # Pick the fixed-point resolution, then prove the plaintext space
         # can absorb population sums × the delayed-division scaling.
+        # The EESum exchange counter can *chain* within one cycle (a node
+        # that just advanced is contacted again), so the max count grows by
+        # roughly 2 + 0.8·log2(t) per cycle empirically; 4 + ceil(log2 t)
+        # bounds it with ≥1.6× margin and sizes both the scalar wrap check
+        # and the packed slot headroom.  Undershooting is loud, not silent:
+        # the PackedCodec decode gate raises on an excessive actual mass.
         self.codec = FixedPointCodec(keypair.public, fractional_bits=24)
-        worst_exchanges = 4 * params.exchanges + 2
+        growth_per_cycle = 4 + max(1, population - 1).bit_length()
+        worst_exchanges = params.exchanges * growth_per_cycle + 2
+        max_abs = (
+            max(abs(dataset.dmin), abs(dataset.dmax))
+            + 10.0 * dataset.joint_sensitivity  # headroom for noise shares
+        )
         self.codec.check_capacity(
-            max_abs_value=max(abs(dataset.dmin), abs(dataset.dmax))
-            + 10.0 * dataset.joint_sensitivity,  # headroom for noise shares
+            max_abs_value=max_abs,
             population=population,
             exchanges=worst_exchanges,
         )
+
+        # Batched ciphertext plane: amortized randomizers (fixed-base table
+        # built once per run), a swappable evaluation backend, and — when
+        # the plaintext space has room for it — slot packing.  Unlike the
+        # scalar plane (which wraps benignly into its huge margin), a
+        # packed slot must hold every *individual* encoded value, noise
+        # shares included — and their Laplace scale is ε-dependent, blowing
+        # past any fixed multiple of the sensitivity once the per-iteration
+        # budget slice gets small.  Size the slot from the worst slice's
+        # scale with an exponential-tail quantile (P[|share| > 60λ] ~ e⁻⁶⁰
+        # per element: never in practice), falling back to scalar when the
+        # resulting slot no longer fits the plaintext.
+        self.encryptor = FastEncryptor(keypair.public, self.crypto_rng)
+        self.backend = create_backend(
+            params.crypto_backend,
+            workers=params.backend_workers,
+            encryptor=self.encryptor,
+        )
+        self.plane = ScalarPlane(keypair.public, self.codec, self.backend)
+        if params.use_packing:
+            slices = []
+            for iteration in range(1, params.max_iterations + 1):
+                try:
+                    slices.append(strategy.epsilon_for(iteration))
+                except BudgetExhausted:
+                    break
+            min_epsilon = min(slices) if slices else params.epsilon
+            noise_bound = 60.0 * dataset.joint_sensitivity / min_epsilon
+            try:
+                packed = PackedCodec.plan(
+                    keypair.public,
+                    fractional_bits=self.codec.fractional_bits,
+                    max_abs_value=max(abs(dataset.dmin), abs(dataset.dmax))
+                    + noise_bound,
+                    population=population,
+                    exchanges=worst_exchanges,
+                    terms=2,  # means + noise are the biased vectors summed
+                )
+                self.plane = PackedPlane(keypair.public, packed, self.backend)
+            except ValueError:
+                pass  # no room for even one slot — stay on the scalar plane
 
         self.participants = [
             Participant(
@@ -108,12 +162,24 @@ class ChiaroscuroRun:
                 series=dataset.values[i],
                 public=keypair.public,
                 codec=self.codec,
+                plane=self.plane,
             )
             for i in range(population)
         ]
 
     def run(self, churn: float = 0.0) -> tuple[ClusteringResult, DistributedTrace]:
-        """Execute Algorithm 1; returns the canonical trace plus diagnostics."""
+        """Execute Algorithm 1; returns the canonical trace plus diagnostics.
+
+        Backend resources are released on every exit path; the run object
+        stays reusable (a process-pool backend re-creates its executor
+        lazily).
+        """
+        try:
+            return self._run(churn)
+        finally:
+            self.close()
+
+    def _run(self, churn: float) -> tuple[ClusteringResult, DistributedTrace]:
         params = self.params
         dataset = self.dataset
         accountant = PrivacyAccountant(epsilon_budget=self.strategy.epsilon)
@@ -163,6 +229,7 @@ class ChiaroscuroRun:
                 exchanges=params.exchanges,
                 crypto_rng=self.crypto_rng,
                 noise_rng=self.noise_rng,
+                plane=self.plane,
             )
             output = step.run(engine, mean_vectors)
             if not output.sums:
@@ -206,6 +273,11 @@ class ChiaroscuroRun:
 
         result.centroids = centroids
         return result, trace
+
+    def close(self) -> None:
+        """Release backend resources (worker pools); the run can be reused —
+        a process-pool backend re-creates its executor lazily."""
+        self.backend.close()
 
     def _pre_inertia(self, labels: np.ndarray, k: int) -> float:
         """Inertia of the current partition against its true (local) means."""

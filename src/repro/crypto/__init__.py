@@ -3,19 +3,36 @@
 This package is the paper's Sec. 3.3.1 building block — a semantically
 secure, additively homomorphic encryption scheme with non-interactive
 threshold decryption — implemented from scratch on Python integers.
+
+On top of the scheme itself it provides the *batched* evaluation plane the
+protocol layers run on: fixed-base precomputation for amortized
+encryption (:class:`FastEncryptor` over :class:`FixedBaseTable`), slot
+packing of many fixed-point values per plaintext (:class:`PackedCodec`),
+and swappable serial / process-pool execution backends
+(:mod:`repro.crypto.backend`) with deterministic per-item seeding.
 """
 
+from .backend import (
+    CryptoBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+)
 from .damgard_jurik import (
+    FastEncryptor,
     decrypt,
     dlog_1_plus_n,
     encrypt,
+    encrypt_batch,
     encrypt_zero_pool,
     generate_keypair,
     homomorphic_add,
+    homomorphic_add_batch,
     homomorphic_scalar_mul,
     powers_of_g,
 )
-from .encoding import FixedPointCodec
+from .encoding import FixedPointCodec, PackedCodec
+from .numtheory import FixedBaseTable
 from .keys import KeyShare, PrivateKey, PublicKey, ThresholdContext
 from .serialization import (
     ciphertext_from_bytes,
@@ -34,22 +51,31 @@ from .threshold import (
 )
 
 __all__ = [
+    "CryptoBackend",
+    "FastEncryptor",
+    "FixedBaseTable",
     "FixedPointCodec",
     "KeyShare",
+    "PackedCodec",
     "PrivateKey",
+    "ProcessPoolBackend",
     "PublicKey",
+    "SerialBackend",
     "ThresholdContext",
     "ThresholdKeypair",
     "ciphertext_from_bytes",
     "ciphertext_to_bytes",
     "combine_partial_decryptions",
+    "create_backend",
     "decrypt",
     "dlog_1_plus_n",
     "encrypt",
+    "encrypt_batch",
     "encrypt_zero_pool",
     "generate_keypair",
     "generate_threshold_keypair",
     "homomorphic_add",
+    "homomorphic_add_batch",
     "homomorphic_scalar_mul",
     "lagrange_at_zero",
     "means_payload_from_bytes",

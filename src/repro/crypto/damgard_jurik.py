@@ -12,6 +12,22 @@ Implements the scheme exactly as the paper lists it:
    discrete log of ``(1+n)^a`` with Damgård–Jurik's recursive algorithm.
 
 Threshold decryption lives in :mod:`repro.crypto.threshold`.
+
+Cost profile (what the batched plane exploits):
+
+* ``g^a`` with ``g = 1 + n`` is a binomial expansion — ``s`` multiplications,
+  *not* a modexp, so it needs no precomputation table;
+* the randomizer ``r^{n^s} mod n^{s+1}`` is the one genuine modexp per
+  encryption and dominates the Fig. 5(a) "Encrypt" bar.
+  :class:`FastEncryptor` amortizes it with a fixed-base window table over a
+  run-fixed base ``h = r₀^{n^s}`` (an encryption of zero): each fresh
+  randomizer is ``h^t`` for a short random exponent ``t``, costing
+  ``ceil(bits(t)/w)`` multiplications instead of a ``bits(n^s)``-bit
+  square-and-multiply.  This is the classic Damgård–Jurik–Nielsen
+  precomputation trade: semantic security then additionally rests on the
+  hardness of discrete logs with short exponents in the randomizer
+  subgroup — a fine trade for a reproduction, and the plain per-ciphertext
+  path stays available (``randomizer=None``).
 """
 
 from __future__ import annotations
@@ -21,6 +37,7 @@ import random
 
 from .keys import PrivateKey, PublicKey
 from .numtheory import (
+    FixedBaseTable,
     crt_pair,
     fixture_safe_primes,
     gcd,
@@ -30,10 +47,13 @@ from .numtheory import (
 )
 
 __all__ = [
+    "FastEncryptor",
     "generate_keypair",
     "encrypt",
+    "encrypt_batch",
     "decrypt",
     "homomorphic_add",
+    "homomorphic_add_batch",
     "homomorphic_scalar_mul",
     "encrypt_zero_pool",
     "powers_of_g",
@@ -132,9 +152,85 @@ def encrypt_zero_pool(public: PublicKey, count: int, rng: random.Random) -> list
     return pool
 
 
+class FastEncryptor:
+    """Amortized encryption: fixed-base randomizer powers over ``h = r₀^{n^s}``.
+
+    The base ``h`` is itself a fresh encryption of zero drawn from ``rng`` at
+    construction time; every randomizer afterwards is ``h^t`` with ``t`` a
+    fresh ``exponent_bits``-bit exponent, evaluated through a precomputed
+    :class:`FixedBaseTable` (see the module docstring for the cost model and
+    the security trade).  One instance is meant to live for a whole protocol
+    run and be shared by every local encryption of that run.
+
+    The object is picklable (it is shipped once to each worker of the
+    process-pool backend), and :meth:`randomizer` is deterministic given the
+    caller's ``rng`` state — reproducibility across backends relies on that.
+    """
+
+    def __init__(
+        self,
+        public: PublicKey,
+        rng: random.Random,
+        exponent_bits: int = 256,
+        window_bits: int = 6,
+    ) -> None:
+        if exponent_bits < 64:
+            raise ValueError("exponent_bits must be >= 64")
+        self.public = public
+        self.exponent_bits = exponent_bits
+        while True:
+            r0 = rng.randrange(1, public.n)
+            if gcd(r0, public.n) == 1:
+                break
+        h = pow(r0, public.n_s, public.n_s1)
+        self.table = FixedBaseTable(h, public.n_s1, exponent_bits, window_bits)
+
+    def randomizer(self, rng: random.Random) -> int:
+        """A fresh randomizer ``h^t mod n^{s+1}`` (an encryption of zero)."""
+        return self.table.pow(rng.getrandbits(self.exponent_bits) | 1)
+
+    def encrypt(self, plaintext: int, rng: random.Random) -> int:
+        """Encrypt one plaintext with an amortized randomizer."""
+        return encrypt(self.public, plaintext, randomizer=self.randomizer(rng))
+
+    def encrypt_batch(self, plaintexts: list[int], rng: random.Random) -> list[int]:
+        """Encrypt a batch, drawing randomizer exponents from ``rng`` in order."""
+        return [self.encrypt(m, rng) for m in plaintexts]
+
+
+def encrypt_batch(
+    public: PublicKey,
+    plaintexts: list[int],
+    rng: random.Random | None = None,
+    encryptor: FastEncryptor | None = None,
+) -> list[int]:
+    """Encrypt a batch of plaintexts, through ``encryptor`` when given.
+
+    Convenience entry point drawing randomness directly from ``rng``.  The
+    backends in :mod:`repro.crypto.backend` use a different randomness
+    discipline (one derived seed per item, which is what makes them
+    bit-identical *to each other* across worker counts) — their output is
+    therefore **not** comparable to this function's for the same ``rng``.
+    """
+    if encryptor is not None:
+        rng = rng or random.Random()
+        return encryptor.encrypt_batch(list(plaintexts), rng)
+    return [encrypt(public, m, rng=rng) for m in plaintexts]
+
+
 def homomorphic_add(public: PublicKey, c1: int, c2: int) -> int:
     """``E(a) +_h E(b) = E(a)·E(b) mod n^{s+1}`` (paper Sec. 3.3.1, item 4)."""
     return c1 * c2 % public.n_s1
+
+
+def homomorphic_add_batch(
+    public: PublicKey, batch1: list[int], batch2: list[int]
+) -> list[int]:
+    """Element-wise homomorphic addition of two equal-length batches."""
+    if len(batch1) != len(batch2):
+        raise ValueError("batches must have equal length")
+    n_s1 = public.n_s1
+    return [a * b % n_s1 for a, b in zip(batch1, batch2)]
 
 
 def homomorphic_scalar_mul(public: PublicKey, ciphertext: int, scalar: int) -> int:

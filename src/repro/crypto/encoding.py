@@ -13,6 +13,43 @@ Two properties matter for Chiaroscuro:
   division); decoding therefore takes an explicit ``extra_shift`` so callers
   can divide by ``2^{n_e}`` *after* decryption, exactly as the paper requires
   ("any division of encrypted data is delayed until its decryption").
+
+Value packing (the batched plane)
+---------------------------------
+
+A 1024-bit-key plaintext has ~1023 usable bits but a centroid coordinate
+sum needs far fewer, so :class:`PackedCodec` packs many coordinates into
+one plaintext and one ciphertext carries a whole stripe of the centroid
+vector.  **Slot layout** (LSB first)::
+
+    plaintext = Σ_{i=0}^{slots-1}  slot_i · 2^(i · slot_bits)
+
+    slot_i    = f_i + B,   f_i = round(v_i · 2^fractional_bits)  (signed)
+    B         = 2^value_bits                  (the per-contribution bias)
+    slot_bits = value_bits + 1 + accumulation_bits
+
+Each slot stores its signed fixed-point value *offset by the bias B*, so
+slot contents are always non-negative and additions never borrow across
+slot boundaries.  Homomorphic sums then work slot-wise: after summing
+contributions with (public, integer) coefficients ``c_j`` from ``terms``
+biased vectors, slot ``i`` holds
+
+    raw_i = Σ_j c_j · f_{i,j}  +  B · (terms · C),     C = Σ_j c_j,
+
+and :meth:`PackedCodec.unpack` subtracts ``B · bias_multiplier`` with
+``bias_multiplier = terms · C`` to recover the exact signed integer sum —
+bit-identical to what the scalar plane's residue would decode to.  The
+EESum protocols learn ``C`` by carrying one extra *tracker* ciphertext
+``E(1)`` through the same pipeline (see :mod:`repro.core.batching`).
+
+``accumulation_bits`` must bound ``log2`` of the worst-case accumulated
+coefficient mass ``terms · C_max`` — the caller supplies the exchange-
+scaling exponent to :meth:`PackedCodec.plan` (the EESum counter chains
+within a gossip cycle, so the protocol layer sizes it from a measured
+per-cycle growth model, not from the cycle count alone).  As a backstop,
+:meth:`PackedCodec.unpack` re-checks the *actual* accumulated mass (known
+exactly at decode time via the tracker) against the slot capacity and
+raises instead of returning silently corrupted values.
 """
 
 from __future__ import annotations
@@ -21,17 +58,17 @@ from dataclasses import dataclass
 
 from .keys import PublicKey
 
-__all__ = ["FixedPointCodec"]
+__all__ = ["FixedPointCodec", "PackedCodec"]
 
 
 @dataclass(frozen=True)
 class FixedPointCodec:
     """Encode/decode reals as fixed-point residues of ``Z_{n^s}``.
 
-    ``fractional_bits`` controls resolution (default 2⁻³² ≈ 2.3e-10);
-    ``headroom_bits`` asserts how much magnitude growth (population sums plus
-    the EESum 2^{n_e} scaling) the plaintext space must absorb before wrap-
-    around — :meth:`check_capacity` enforces it at protocol-setup time.
+    ``fractional_bits`` controls resolution (default 2⁻³² ≈ 2.3e-10).
+    The magnitude growth the plaintext space must absorb before wrap-around
+    (population sums plus the EESum delayed-division scaling) is checked at
+    protocol-setup time by :meth:`check_capacity`.
     """
 
     public: PublicKey
@@ -84,3 +121,175 @@ class FixedPointCodec:
                 f"(needed ~{bound.bit_length()} bits, "
                 f"have {self.public.n_s.bit_length() - 1})"
             )
+
+
+@dataclass(frozen=True)
+class PackedCodec:
+    """Pack many signed fixed-point slots into one plaintext residue.
+
+    See the module docstring for the slot layout and the overflow model.
+    ``value_bits`` bounds a single contribution (``|f| < 2^value_bits``);
+    ``accumulation_bits`` bounds the total coefficient mass the slot must
+    absorb before unpacking.  Use :meth:`plan` to derive both from protocol
+    parameters instead of picking them by hand.
+    """
+
+    public: PublicKey
+    fractional_bits: int = 32
+    value_bits: int = 40
+    accumulation_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.fractional_bits < 0:
+            raise ValueError("fractional_bits must be >= 0")
+        if self.value_bits <= self.fractional_bits:
+            raise ValueError("value_bits must exceed fractional_bits")
+        if self.accumulation_bits < 1:
+            raise ValueError("accumulation_bits must be >= 1")
+        if self.slots < 1:
+            raise ValueError(
+                f"plaintext space too small to pack even one "
+                f"{self.slot_bits}-bit slot (have {self.public.plaintext_bits} "
+                "bits): raise the key size or the expansion s, or lower "
+                "value_bits/accumulation_bits"
+            )
+
+    @property
+    def scale(self) -> int:
+        """Multiplicative fixed-point scale ``2^fractional_bits``."""
+        return 1 << self.fractional_bits
+
+    @property
+    def bias(self) -> int:
+        """Per-contribution slot offset ``B = 2^value_bits``."""
+        return 1 << self.value_bits
+
+    @property
+    def slot_bits(self) -> int:
+        """Width of one slot: value, sign headroom, and accumulation room."""
+        return self.value_bits + 1 + self.accumulation_bits
+
+    @property
+    def slots(self) -> int:
+        """Number of slots one plaintext carries."""
+        return self.public.plaintext_bits // self.slot_bits
+
+    @classmethod
+    def plan(
+        cls,
+        public: PublicKey,
+        fractional_bits: int,
+        max_abs_value: float,
+        population: int,
+        exchanges: int,
+        terms: int = 2,
+        safety_bits: int = 2,
+    ) -> "PackedCodec":
+        """Size a codec for a protocol run (mirrors ``check_capacity``).
+
+        ``max_abs_value`` bounds a single encoded value, ``population`` the
+        number of contributors, ``exchanges`` the worst-case delayed-division
+        scaling ``2^exchanges``, and ``terms`` how many biased vectors are
+        homomorphically summed before unpacking (means + noise = 2).
+        Raises ``ValueError`` when even a single slot cannot fit.
+        """
+        max_fixed = int(max_abs_value * (1 << fractional_bits) + 1)
+        value_bits = max(max_fixed.bit_length() + 1, fractional_bits + 1)
+        mass = population * terms * (1 << exchanges)
+        accumulation_bits = mass.bit_length() + safety_bits
+        return cls(
+            public=public,
+            fractional_bits=fractional_bits,
+            value_bits=value_bits,
+            accumulation_bits=accumulation_bits,
+        )
+
+    def packed_length(self, count: int) -> int:
+        """How many plaintexts carry ``count`` values."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return -(-count // self.slots)
+
+    def encode_fixed(self, value: float) -> int:
+        """Signed fixed-point integer for one value (range-checked)."""
+        fixed = round(value * self.scale)
+        if abs(fixed) >= self.bias:
+            raise ValueError(
+                f"value {value} exceeds the slot capacity 2^{self.value_bits}"
+            )
+        return fixed
+
+    def pack(self, values) -> list[int]:
+        """Pack reals into plaintext residues, ``slots`` values apiece.
+
+        The last plaintext is padded with implicit zero-value slots (they
+        still carry the bias, which :meth:`unpack` never reads back).
+        """
+        packed: list[int] = []
+        slot_bits = self.slot_bits
+        bias = self.bias
+        current = 0
+        filled = 0
+        for value in values:
+            current |= (self.encode_fixed(float(value)) + bias) << (filled * slot_bits)
+            filled += 1
+            if filled == self.slots:
+                packed.append(current)
+                current = 0
+                filled = 0
+        if filled:
+            while filled < self.slots:
+                current |= bias << (filled * slot_bits)
+                filled += 1
+            packed.append(current)
+        return packed
+
+    def unpack_integers(
+        self, plaintexts: list[int], count: int, bias_multiplier: int = 1
+    ) -> list[int]:
+        """Recover the exact signed integer content of the first ``count`` slots.
+
+        ``bias_multiplier`` is the total bias mass accumulated per slot:
+        ``terms · C`` after a homomorphic sum with coefficient total ``C``
+        over ``terms`` biased vectors (1 for a plain round-trip).
+        """
+        if self.packed_length(count) > len(plaintexts):
+            raise ValueError("not enough plaintexts for the requested count")
+        # Soundness gate: with |f| < B per contribution and a coefficient
+        # mass of ``bias_multiplier``, every slot is < 2B·bias_multiplier.
+        # If that bound does not fit the slot, neighbouring slots may have
+        # bled into each other and unpacking would be silently wrong.
+        if bias_multiplier >= 1 and 2 * self.bias * bias_multiplier > (
+            1 << self.slot_bits
+        ):
+            raise ValueError(
+                "accumulated coefficient mass exceeds the packed slot "
+                f"capacity (need {(2 * self.bias * bias_multiplier).bit_length()}"
+                f" bits, slot has {self.slot_bits}): raise accumulation_bits "
+                "or fall back to the scalar plane"
+            )
+        mask = (1 << self.slot_bits) - 1
+        offset = self.bias * bias_multiplier
+        out: list[int] = []
+        for index, plaintext in enumerate(plaintexts):
+            take = min(self.slots, count - index * self.slots)
+            if take <= 0:
+                break
+            for i in range(take):
+                raw = (plaintext >> (i * self.slot_bits)) & mask
+                out.append(raw - offset)
+        return out
+
+    def unpack(
+        self,
+        plaintexts: list[int],
+        count: int,
+        bias_multiplier: int = 1,
+        extra_shift: int = 0,
+    ) -> list[float]:
+        """Unpack to reals; ``extra_shift`` divides out delayed halvings."""
+        divisor = float(self.scale) * float(1 << extra_shift)
+        return [
+            fixed / divisor
+            for fixed in self.unpack_integers(plaintexts, count, bias_multiplier)
+        ]

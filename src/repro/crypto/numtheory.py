@@ -7,6 +7,12 @@ module provides:
 * Miller–Rabin probabilistic primality testing,
 * random prime and *safe prime* generation (``p = 2q + 1`` with ``q`` prime),
 * modular inverse / CRT helpers,
+* :class:`FixedBaseTable` — windowed fixed-base modular exponentiation,
+  the amortization primitive behind the batched encryption plane (the
+  randomizer base is fixed for a whole protocol run, so its power table
+  is precomputed once and every randomizer afterwards costs only
+  ``ceil(bits/window)`` multiplications instead of a full square-and-
+  multiply modexp),
 * a fixture table of pre-generated safe primes so that tests and benchmarks
   can build 256-bit to 1024-bit keys instantly (generating 512-bit safe
   primes from scratch in pure Python takes minutes and adds nothing to the
@@ -18,6 +24,7 @@ from __future__ import annotations
 import random
 
 __all__ = [
+    "FixedBaseTable",
     "is_probable_prime",
     "random_prime",
     "random_safe_prime",
@@ -26,6 +33,75 @@ __all__ = [
     "crt_pair",
     "lcm",
 ]
+
+
+class FixedBaseTable:
+    """Windowed fixed-base exponentiation: ``base^e mod modulus`` in
+    ``ceil(max_exponent_bits / window_bits)`` multiplications.
+
+    The exponent is read in radix ``2^window_bits`` digits; for window ``i``
+    and digit ``j`` the table stores ``base^(j · 2^(i·w))``, so an
+    exponentiation is a product of one table entry per non-zero digit —
+    no squarings at all.  Precomputing the table costs roughly
+    ``windows · 2^w`` multiplications, which amortizes after a few dozen
+    exponentiations (a protocol run performs thousands: one randomizer per
+    ciphertext per iteration).
+
+    ``pow`` raises ``ValueError`` for exponents outside
+    ``[0, 2^max_exponent_bits)`` — callers size the table for their
+    exponent distribution up front.
+    """
+
+    __slots__ = ("base", "modulus", "window_bits", "max_exponent_bits", "_rows")
+
+    def __init__(
+        self,
+        base: int,
+        modulus: int,
+        max_exponent_bits: int,
+        window_bits: int = 6,
+    ) -> None:
+        if modulus < 2:
+            raise ValueError("modulus must be >= 2")
+        if max_exponent_bits < 1:
+            raise ValueError("max_exponent_bits must be >= 1")
+        if not 1 <= window_bits <= 16:
+            raise ValueError("window_bits must be in [1, 16]")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window_bits = window_bits
+        self.max_exponent_bits = max_exponent_bits
+        windows = -(-max_exponent_bits // window_bits)  # ceil division
+        digits = (1 << window_bits) - 1  # non-zero digits per window
+        rows: list[list[int]] = []
+        b = self.base  # base^(2^(i·w)) for the current window i
+        for _ in range(windows):
+            row = [b]
+            acc = b
+            for _ in range(digits - 1):
+                acc = acc * b % modulus
+                row.append(acc)
+            rows.append(row)
+            # base^(2^((i+1)·w)) = (b^(2^w - 1)) · b = row[-1] · b
+            b = row[-1] * b % modulus
+        self._rows = rows
+
+    def pow(self, exponent: int) -> int:
+        """Return ``base^exponent mod modulus`` using the precomputed rows."""
+        if exponent < 0 or exponent.bit_length() > self.max_exponent_bits:
+            raise ValueError(
+                f"exponent must be in [0, 2^{self.max_exponent_bits})"
+            )
+        mask = (1 << self.window_bits) - 1
+        result = 1
+        window = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                result = result * self._rows[window][digit - 1] % self.modulus
+            exponent >>= self.window_bits
+            window += 1
+        return result % self.modulus
 
 _SMALL_PRIMES = (
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,

@@ -4,7 +4,9 @@ The paper's experiments use a 1024-bit key with the base scheme; this module
 is a convenience façade so callers that never need the generalized
 expansion can say ``paillier.encrypt(...)`` and get the familiar
 ``c = (1+n)^a · r^n mod n²`` behaviour.  All functions delegate to
-:mod:`repro.crypto.damgard_jurik` with ``s = 1``.
+:mod:`repro.crypto.damgard_jurik` with ``s = 1``; the batched entry points
+(:func:`encrypt_batch`, :func:`add_batch`, :func:`fast_encryptor`) expose
+the amortized plane at the same facade.
 """
 
 from __future__ import annotations
@@ -14,7 +16,16 @@ import random
 from . import damgard_jurik as _dj
 from .keys import PrivateKey, PublicKey
 
-__all__ = ["generate_keypair", "encrypt", "decrypt", "add", "scalar_mul"]
+__all__ = [
+    "generate_keypair",
+    "encrypt",
+    "encrypt_batch",
+    "decrypt",
+    "add",
+    "add_batch",
+    "scalar_mul",
+    "fast_encryptor",
+]
 
 
 def generate_keypair(
@@ -43,9 +54,40 @@ def decrypt(private: PrivateKey, ciphertext: int) -> int:
     return _dj.decrypt(private, ciphertext)
 
 
+def encrypt_batch(
+    public: PublicKey,
+    plaintexts: list[int],
+    rng: random.Random | None = None,
+    encryptor: "_dj.FastEncryptor | None" = None,
+) -> list[int]:
+    """Encrypt a batch under the ``s = 1`` scheme (amortized if ``encryptor``)."""
+    if public.s != 1:
+        raise ValueError("paillier facade requires a public key with s = 1")
+    return _dj.encrypt_batch(public, plaintexts, rng=rng, encryptor=encryptor)
+
+
+def fast_encryptor(
+    public: PublicKey,
+    rng: random.Random,
+    exponent_bits: int = 256,
+    window_bits: int = 6,
+) -> "_dj.FastEncryptor":
+    """Build a fixed-base-table encryptor for the ``s = 1`` scheme."""
+    if public.s != 1:
+        raise ValueError("paillier facade requires a public key with s = 1")
+    return _dj.FastEncryptor(
+        public, rng, exponent_bits=exponent_bits, window_bits=window_bits
+    )
+
+
 def add(public: PublicKey, c1: int, c2: int) -> int:
     """Homomorphic addition (ciphertext multiplication)."""
     return _dj.homomorphic_add(public, c1, c2)
+
+
+def add_batch(public: PublicKey, batch1: list[int], batch2: list[int]) -> list[int]:
+    """Element-wise homomorphic addition of two batches."""
+    return _dj.homomorphic_add_batch(public, batch1, batch2)
 
 
 def scalar_mul(public: PublicKey, ciphertext: int, scalar: int) -> int:

@@ -9,7 +9,11 @@ grounded in actual encodable messages rather than bit-length arithmetic:
   format — and the traffic — independent of the plaintext, a small but
   real side-channel concern);
 * a means-set payload is a tiny header (k, n, ω, exchange counter) followed
-  by the ``k·(n+1)`` ciphertexts;
+  by the ``k·(n+1)`` ciphertexts — the *scalar-plane* wire format the paper
+  costs out in Fig. 5(b).  (The packed plane of
+  :class:`repro.crypto.encoding.PackedCodec` moves fewer, denser
+  ciphertexts; a wire format for it is not implemented here — this module
+  only encodes scalar-plane payloads);
 * public keys serialize to ``(n, s)``.
 """
 

@@ -27,8 +27,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..crypto.backend import CryptoBackend, SerialBackend
 from ..crypto.keys import KeyShare, ThresholdContext
-from ..crypto.threshold import combine_partial_decryptions, partial_decrypt
+from ..crypto.threshold import combine_partial_decryptions
 from .engine import GossipProtocol, Node
 
 __all__ = ["DecryptionState", "EpidemicDecryption", "TokenDecryption"]
@@ -56,6 +57,11 @@ class EpidemicDecryption(GossipProtocol):
     are the converged EESum outputs (estimates are equal across nodes up to
     the gossip approximation error, so the replacement step is sound).
     ``shares`` maps node id → its :class:`KeyShare`.
+
+    Applying a key-share partially decrypts the node's *whole* vector — one
+    ``c^{2Δd_i}`` exponentiation per element — so it runs as a single batch
+    through ``backend`` (serial by default; a process-pool backend spreads
+    the batch over workers, see :mod:`repro.crypto.backend`).
     """
 
     def __init__(
@@ -63,10 +69,12 @@ class EpidemicDecryption(GossipProtocol):
         context: ThresholdContext,
         bundles: dict[int, tuple[list[int], int]],
         shares: dict[int, KeyShare],
+        backend: CryptoBackend | None = None,
     ) -> None:
         self.context = context
         self.bundles = bundles
         self.shares = shares
+        self.backend = backend or SerialBackend()
 
     def setup(self, node: Node, rng: random.Random) -> None:
         ciphertexts, omega = self.bundles[node.node_id]
@@ -82,9 +90,9 @@ class EpidemicDecryption(GossipProtocol):
             return
         if state.n_shares_applied >= self.context.threshold:
             return
-        state.partials[share.index] = [
-            partial_decrypt(self.context, share, c) for c in state.ciphertexts
-        ]
+        state.partials[share.index] = self.backend.partial_decrypt_batch(
+            self.context, share, state.ciphertexts
+        )
 
     def exchange(self, initiator: Node, contact: Node, rng: random.Random) -> None:
         a, b = self.state_of(initiator), self.state_of(contact)

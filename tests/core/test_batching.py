@@ -1,0 +1,221 @@
+"""Tests for the batched ciphertext planes (scalar vs packed) and the
+backend plumbing through the full protocol.
+
+The two strong guarantees under test:
+
+* the packed plane decodes **bit-identically** to the scalar plane after a
+  real EESum accumulation (tracker-based bias subtraction is exact);
+* a full protocol run is **reproducible across backends**: serial and
+  process-pool executions with the same seed produce identical centroids.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChiaroscuroParams,
+    ChiaroscuroRun,
+    ComputationStep,
+    NoisePlan,
+    PackedPlane,
+    Participant,
+    ScalarPlane,
+)
+from repro.core.diptych import initialize_means
+from repro.crypto import FixedPointCodec, PackedCodec, decrypt
+from repro.datasets import TimeSeriesSet
+from repro.gossip import GossipEngine
+from repro.gossip.eesum import EESum
+from repro.privacy import UniformFast
+
+
+@pytest.fixture()
+def planes(threshold_keypair):
+    public = threshold_keypair.public
+    codec = FixedPointCodec(public, fractional_bits=16)
+    packed = PackedCodec(
+        public, fractional_bits=16, value_bits=24, accumulation_bits=40
+    )
+    return ScalarPlane(public, codec), PackedPlane(public, packed)
+
+
+class TestScalarPlane:
+    def test_matches_diptych_initialization(self, threshold_keypair):
+        """Participant + ScalarPlane encodes exactly what initialize_means does."""
+        public = threshold_keypair.public
+        codec = FixedPointCodec(public, fractional_bits=16)
+        series = np.array([1.5, -2.0, 3.25])
+        participant = Participant(
+            node_id=0, series=series, public=public, codec=codec,
+            plane=ScalarPlane(public, codec),
+        )
+        centroids = np.array([[1.0, -2.0, 3.0], [50.0, 50.0, 50.0]])
+        vector = participant.encrypted_means_vector(centroids, random.Random(0))
+
+        means = initialize_means(public, codec, series, 0, 2, random.Random(1))
+        legacy = [c for mean in means for c in mean.as_vector()]
+        assert len(vector) == len(legacy) == 8
+        private = threshold_keypair.private
+        assert [decrypt(private, c) for c in vector] == [
+            decrypt(private, c) for c in legacy
+        ]
+
+    def test_decode_sums_length_check(self, planes):
+        scalar, _ = planes
+        with pytest.raises(ValueError, match="expected 3 plaintexts"):
+            scalar.decode_sums([1, 2], 3)
+
+
+class TestPackedPlaneEquivalence:
+    def test_eesum_decodes_bit_identical_to_scalar(self, threshold_keypair, planes):
+        """Run the same values through a real gossip EESum on both planes;
+        the decoded estimates must be equal as floats, not just close."""
+        scalar, packed = planes
+        private = threshold_keypair.private
+        rng = random.Random(3)
+        values = {i: [float(i) + 0.5, -2.0 * i, 7.25] for i in range(6)}
+
+        estimates = {}
+        for name, plane in (("scalar", scalar), ("packed", packed)):
+            initial = {
+                i: plane.encrypt_values(v, rng) + plane.tracker_ciphertexts(rng)
+                for i, v in values.items()
+            }
+            engine = GossipEngine(6, seed=11)
+            eesum = EESum(plane.public, initial)
+            engine.setup(eesum)
+            engine.run_cycles(8, eesum)
+            per_node = []
+            for node in engine.nodes:
+                state = eesum.state_of(node)
+                plaintexts = [decrypt(private, c) for c in state.ciphertexts]
+                decoded = plane.decode_sums(plaintexts, 3, bias_terms=1)
+                per_node.append(decoded / state.omega)
+            estimates[name] = per_node
+
+        for scalar_est, packed_est in zip(estimates["scalar"], estimates["packed"]):
+            assert scalar_est.tolist() == packed_est.tolist()
+
+    def test_tracker_counts_coefficient_mass(self, planes):
+        _, packed = planes
+        tracker = packed.tracker_ciphertexts(random.Random(4))
+        assert len(tracker) == packed.tracker_length == 1
+
+    def test_packed_length(self, planes):
+        _, packed = planes
+        assert packed.packed_length(packed.packed.slots) == 1
+        assert packed.packed_length(packed.packed.slots + 1) == 2
+
+
+class TestComputationStepPacked:
+    def test_sums_and_counts_match_truth(self, threshold_keypair_s2):
+        """The Alg. 3 step over the packed plane recovers the true per-cluster
+        sums and counts (negligible noise)."""
+        keypair = threshold_keypair_s2
+        codec = FixedPointCodec(keypair.public, fractional_bits=20)
+        packed = PackedCodec(
+            keypair.public, fractional_bits=20, value_bits=28, accumulation_bits=90
+        )
+        plane = PackedPlane(keypair.public, packed)
+        crypto_rng = random.Random(0)
+        series = np.array(
+            [[1.0, 2, 3], [1, 2, 3], [1, 2, 3], [1, 2, 3],
+             [10, 20, 30], [10, 20, 30], [10, 20, 30], [10, 20, 30]]
+        )
+        assignments = [0, 0, 0, 0, 1, 1, 1, 1]
+        vectors = {}
+        for node, (row, cluster) in enumerate(zip(series, assignments)):
+            participant = Participant(
+                node_id=node, series=row, public=keypair.public,
+                codec=codec, plane=plane,
+            )
+            vectors[node] = participant.plane.encrypt_values(
+                participant.means_value_vector(cluster, 2), crypto_rng
+            )
+        plan = NoisePlan(
+            k=2, series_length=3, dmin=0.0, dmax=30.0, epsilon=1e9, n_nu=8
+        )
+        step = ComputationStep(
+            keypair=keypair, codec=codec, noise_plan=plan, exchanges=15,
+            crypto_rng=crypto_rng, noise_rng=np.random.default_rng(1),
+            plane=plane,
+        )
+        output = step.run(GossipEngine(8, seed=8), vectors)
+        assert set(output.sums) == set(range(8))
+        for node in range(8):
+            means, counts = output.perturbed_means(node)
+            assert counts[0] == pytest.approx(4.0, abs=0.05)
+            assert counts[1] == pytest.approx(4.0, abs=0.05)
+            assert np.allclose(means[0], [1.0, 2.0, 3.0], atol=0.1)
+            assert np.allclose(means[1], [10.0, 20.0, 30.0], atol=0.3)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    rng = np.random.default_rng(6)
+    base = np.array([[5.0, 5, 40, 40], [40, 40, 5, 5]])
+    values = np.clip(np.repeat(base, 12, axis=0) + rng.normal(0, 1, (24, 4)), 0, 60)
+    return TimeSeriesSet(values, dmin=0.0, dmax=60.0, name="tiny")
+
+
+class TestProtocolBackendPlumbing:
+    def test_backend_selected_from_params(self, tiny_dataset, threshold_keypair_s2):
+        params = ChiaroscuroParams(
+            k=2, max_iterations=1, exchanges=8, tau_fraction=0.13,
+            epsilon=1e6, expansion_s=2, use_smoothing=False, theta=0.0,
+            crypto_backend="process", backend_workers=2,
+        )
+        run = ChiaroscuroRun(
+            tiny_dataset, UniformFast(1e6, 1), params,
+            np.array([[10.0, 10, 30, 30], [30, 30, 10, 10]]),
+            key_bits=256, seed=2, keypair=threshold_keypair_s2,
+        )
+        assert run.backend.name == "process"
+        assert run.backend.max_workers == 2
+        run.close()
+
+    def test_packing_toggle(self, tiny_dataset, threshold_keypair_s2):
+        base = dict(
+            k=2, max_iterations=1, exchanges=8, tau_fraction=0.13,
+            epsilon=1e6, expansion_s=2, use_smoothing=False, theta=0.0,
+        )
+        centroids = np.array([[10.0, 10, 30, 30], [30, 30, 10, 10]])
+        packed_run = ChiaroscuroRun(
+            tiny_dataset, UniformFast(1e6, 1), ChiaroscuroParams(**base),
+            centroids, key_bits=256, seed=2, keypair=threshold_keypair_s2,
+        )
+        scalar_run = ChiaroscuroRun(
+            tiny_dataset, UniformFast(1e6, 1),
+            ChiaroscuroParams(**base, use_packing=False),
+            centroids, key_bits=256, seed=2, keypair=threshold_keypair_s2,
+        )
+        assert isinstance(packed_run.plane, PackedPlane)
+        assert isinstance(scalar_run.plane, ScalarPlane)
+
+    def test_serial_and_process_runs_identical(
+        self, tiny_dataset, threshold_keypair_s2
+    ):
+        """Satellite: per-item RNG seeding makes protocol runs reproducible
+        across backends — centroids match exactly, not approximately."""
+        centroids = np.array([[10.0, 10, 30, 30], [30, 30, 10, 10]])
+        results = {}
+        for backend in ("serial", "process"):
+            params = ChiaroscuroParams(
+                k=2, max_iterations=1, exchanges=8, tau_fraction=0.13,
+                epsilon=5.0, expansion_s=2, use_smoothing=False, theta=0.0,
+                crypto_backend=backend, backend_workers=2,
+            )
+            run = ChiaroscuroRun(
+                tiny_dataset, UniformFast(5.0, 1), params, centroids,
+                key_bits=256, seed=9, keypair=threshold_keypair_s2,
+            )
+            result, _ = run.run()
+            results[backend] = result
+        serial, process = results["serial"], results["process"]
+        assert len(serial.history) == len(process.history) == 1
+        assert serial.history[0].centroids.tolist() == (
+            process.history[0].centroids.tolist()
+        )
+        assert serial.centroids.tolist() == process.centroids.tolist()

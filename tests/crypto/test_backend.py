@@ -1,0 +1,147 @@
+"""Tests for the crypto execution backends (serial vs process-pool).
+
+The contract under test: for the same master RNG state, every backend
+produces bit-identical ciphertext batches — worker count, chunking, and
+scheduling must not leak into results (randomness is derived per item
+before dispatch).
+"""
+
+import random
+
+import pytest
+
+from repro.core import ChiaroscuroParams
+from repro.crypto import (
+    FastEncryptor,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+    decrypt,
+)
+
+
+@pytest.fixture(scope="module")
+def plaintexts():
+    rng = random.Random(21)
+    return [rng.randrange(1 << 32) for _ in range(12)]
+
+
+class TestSerialBackend:
+    def test_encrypts_decryptable_ciphertexts(self, threshold_keypair, plaintexts):
+        backend = SerialBackend()
+        cts = backend.encrypt_batch(
+            threshold_keypair.public, plaintexts, random.Random(0)
+        )
+        assert [decrypt(threshold_keypair.private, c) for c in cts] == plaintexts
+
+    def test_deterministic_given_seed(self, threshold_keypair, plaintexts):
+        backend = SerialBackend()
+        a = backend.encrypt_batch(threshold_keypair.public, plaintexts, random.Random(5))
+        b = backend.encrypt_batch(threshold_keypair.public, plaintexts, random.Random(5))
+        assert a == b
+
+    def test_partial_decrypt_batch_matches_scalar(self, threshold_keypair, plaintexts):
+        from repro.crypto import partial_decrypt
+
+        backend = SerialBackend()
+        cts = backend.encrypt_batch(
+            threshold_keypair.public, plaintexts, random.Random(1)
+        )
+        share = threshold_keypair.shares[0]
+        batch = backend.partial_decrypt_batch(threshold_keypair.context, share, cts)
+        assert batch == [
+            partial_decrypt(threshold_keypair.context, share, c) for c in cts
+        ]
+
+
+class TestProcessPoolBackend:
+    def test_identical_to_serial(self, threshold_keypair, plaintexts):
+        """The reproducibility guarantee: pool == serial, bit for bit."""
+        serial = SerialBackend()
+        pool = ProcessPoolBackend(max_workers=2, min_batch=1)
+        try:
+            a = serial.encrypt_batch(
+                threshold_keypair.public, plaintexts, random.Random(7)
+            )
+            b = pool.encrypt_batch(
+                threshold_keypair.public, plaintexts, random.Random(7)
+            )
+            assert a == b
+        finally:
+            pool.close()
+
+    def test_identical_with_fast_encryptor(self, threshold_keypair, plaintexts):
+        encryptor = FastEncryptor(
+            threshold_keypair.public, random.Random(9), exponent_bits=128
+        )
+        serial = SerialBackend(encryptor)
+        pool = ProcessPoolBackend(max_workers=2, encryptor=encryptor, min_batch=1)
+        try:
+            a = serial.encrypt_batch(
+                threshold_keypair.public, plaintexts, random.Random(8)
+            )
+            b = pool.encrypt_batch(
+                threshold_keypair.public, plaintexts, random.Random(8)
+            )
+            assert a == b
+            assert [decrypt(threshold_keypair.private, c) for c in a] == plaintexts
+        finally:
+            pool.close()
+
+    def test_partial_decrypt_identical_to_serial(self, threshold_keypair, plaintexts):
+        serial = SerialBackend()
+        pool = ProcessPoolBackend(max_workers=2, min_batch=1)
+        try:
+            cts = serial.encrypt_batch(
+                threshold_keypair.public, plaintexts, random.Random(2)
+            )
+            share = threshold_keypair.shares[1]
+            assert pool.partial_decrypt_batch(
+                threshold_keypair.context, share, cts
+            ) == serial.partial_decrypt_batch(threshold_keypair.context, share, cts)
+        finally:
+            pool.close()
+
+    def test_small_batches_stay_in_process(self, threshold_keypair):
+        pool = ProcessPoolBackend(max_workers=2, min_batch=100)
+        cts = pool.encrypt_batch(threshold_keypair.public, [1, 2, 3], random.Random(3))
+        assert pool._executor is None  # never spun up
+        assert [decrypt(threshold_keypair.private, c) for c in cts] == [1, 2, 3]
+
+    def test_close_is_reusable(self, threshold_keypair, plaintexts):
+        pool = ProcessPoolBackend(max_workers=2, min_batch=1)
+        first = pool.encrypt_batch(
+            threshold_keypair.public, plaintexts[:4], random.Random(4)
+        )
+        pool.close()
+        second = pool.encrypt_batch(
+            threshold_keypair.public, plaintexts[:4], random.Random(4)
+        )
+        pool.close()
+        assert first == second
+
+
+class TestSelection:
+    def test_create_backend_names(self):
+        assert create_backend("serial").name == "serial"
+        backend = create_backend("process", workers=2)
+        assert backend.name == "process"
+        assert backend.max_workers == 2
+        backend.close()
+
+    def test_create_backend_unknown(self):
+        with pytest.raises(ValueError, match="unknown crypto backend"):
+            create_backend("gpu")
+
+    def test_params_accept_backend_fields(self):
+        params = ChiaroscuroParams(crypto_backend="process", backend_workers=4)
+        assert params.crypto_backend == "process"
+        assert params.backend_workers == 4
+
+    def test_params_reject_unknown_backend(self):
+        with pytest.raises(ValueError, match="crypto_backend"):
+            ChiaroscuroParams(crypto_backend="quantum")
+
+    def test_params_reject_negative_workers(self):
+        with pytest.raises(ValueError, match="backend_workers"):
+            ChiaroscuroParams(backend_workers=-1)

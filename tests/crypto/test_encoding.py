@@ -1,10 +1,10 @@
-"""Tests for the signed fixed-point codec."""
+"""Tests for the signed fixed-point codec and the packed-slot codec."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto import FixedPointCodec
+from repro.crypto import FixedPointCodec, PackedCodec
 
 
 class TestRoundTrip:
@@ -70,3 +70,136 @@ class TestCapacity:
     def test_s2_extends_capacity(self, keypair_s2):
         codec = FixedPointCodec(keypair_s2.public, fractional_bits=48)
         codec.check_capacity(max_abs_value=1e9, population=10**9, exchanges=200)
+
+
+@pytest.fixture()
+def packed(keypair128):
+    """16 fractional bits, values < 2^8, room for a 2^12 coefficient mass."""
+    return PackedCodec(
+        keypair128.public, fractional_bits=16, value_bits=24, accumulation_bits=12
+    )
+
+
+class TestPackedRoundTrip:
+    def test_exact_on_grid(self, packed):
+        """Values on the fixed-point grid round-trip exactly — not approximately."""
+        values = [1.5, -2.25, 100.0, -127.875, 0.0, 42.0625]
+        assert packed.unpack(packed.pack(values), len(values)) == values
+
+    def test_multiple_plaintexts(self, packed):
+        values = [float(i) - 20.0 for i in range(3 * packed.slots + 1)]
+        plaintexts = packed.pack(values)
+        assert len(plaintexts) == packed.packed_length(len(values)) == 4
+        assert packed.unpack(plaintexts, len(values)) == values
+
+    def test_empty(self, packed):
+        assert packed.pack([]) == []
+        assert packed.unpack([], 0) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-255.0, max_value=255.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, keypair128, values):
+        codec = PackedCodec(
+            keypair128.public, fractional_bits=16, value_bits=24, accumulation_bits=12
+        )
+        grid = [round(v * codec.scale) / codec.scale for v in values]
+        assert codec.unpack(codec.pack(grid), len(grid)) == grid
+
+    def test_value_exceeding_slot_raises(self, packed):
+        with pytest.raises(ValueError, match="slot capacity"):
+            packed.pack([300.0])  # |f| = 300·2^16 ≥ 2^24
+
+    def test_unpack_integers_exact(self, packed):
+        values = [3.5, -3.5]
+        ints = packed.unpack_integers(packed.pack(values), 2)
+        assert ints == [round(3.5 * packed.scale), -round(3.5 * packed.scale)]
+
+
+class TestPackedAccumulation:
+    def test_homomorphic_sum_with_bias_multiplier(self, packed):
+        """Plaintext-level additivity: slot-wise sums decode exactly once the
+        accumulated bias mass is subtracted."""
+        n_s = packed.public.n_s
+        a = packed.pack([1.25, -7.5, 3.0])
+        b = packed.pack([-0.75, 2.5, 40.0])
+        summed = [(x + y) % n_s for x, y in zip(a, b)]
+        assert packed.unpack(summed, 3, bias_multiplier=2) == [0.5, -5.0, 43.0]
+
+    def test_scaled_sum_matches_scalar_codec(self, packed, keypair128):
+        """EESum-style coefficients: 4·x + 2·y decodes identically on both
+        codecs (same signed fixed-point integer)."""
+        scalar = FixedPointCodec(keypair128.public, fractional_bits=16)
+        n_s = keypair128.public.n_s
+        x, y = -3.125, 10.5
+        packed_sum = [
+            (4 * p + 2 * q) % n_s
+            for p, q in zip(packed.pack([x]), packed.pack([y]))
+        ]
+        scalar_sum = (4 * scalar.encode(x) + 2 * scalar.encode(y)) % n_s
+        assert packed.unpack(packed_sum, 1, bias_multiplier=6) == [
+            scalar.decode(scalar_sum)
+        ]
+
+    def test_overflowing_mass_detected(self, packed):
+        """The decode-time soundness gate refuses an unsound unpack."""
+        plaintexts = packed.pack([1.0])
+        with pytest.raises(ValueError, match="coefficient mass"):
+            packed.unpack(plaintexts, 1, bias_multiplier=1 << 13)
+
+    def test_extra_shift(self, packed):
+        n_s = packed.public.n_s
+        scaled = [(p * 8) % n_s for p in packed.pack([-5.5])]
+        assert packed.unpack(scaled, 1, bias_multiplier=8, extra_shift=3) == [-5.5]
+
+
+class TestPackedPlanning:
+    def test_plan_fits_capacity(self, keypair128):
+        codec = PackedCodec.plan(
+            keypair128.public,
+            fractional_bits=16,
+            max_abs_value=100.0,
+            population=50,
+            exchanges=30,
+            terms=2,
+        )
+        assert codec.slots >= 1
+        # planned accumulation covers the declared coefficient mass
+        assert 2 * codec.bias * (50 * 2 * (1 << 30)) <= 1 << codec.slot_bits
+
+    def test_plan_rejects_impossible(self, keypair128):
+        with pytest.raises(ValueError, match="plaintext space too small"):
+            PackedCodec.plan(
+                keypair128.public,
+                fractional_bits=16,
+                max_abs_value=100.0,
+                population=10**6,
+                exchanges=400,
+            )
+
+    def test_packs_several_slots_at_modest_accumulation(self, keypair128):
+        codec = PackedCodec.plan(
+            keypair128.public,
+            fractional_bits=16,
+            max_abs_value=100.0,
+            population=1,
+            exchanges=1,
+            terms=2,
+        )
+        assert codec.slots >= 4  # a 255-bit plaintext carries several slots
+
+    def test_invalid_parameters(self, keypair128):
+        with pytest.raises(ValueError):
+            PackedCodec(keypair128.public, fractional_bits=16, value_bits=10)
+        with pytest.raises(ValueError):
+            PackedCodec(
+                keypair128.public,
+                fractional_bits=16,
+                value_bits=200,
+                accumulation_bits=100,
+            )  # slot wider than the plaintext

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.crypto.numtheory import (
+    FixedBaseTable,
     crt_pair,
     fixture_safe_primes,
     gcd,
@@ -69,6 +70,44 @@ class TestFixtures:
     def test_missing_size_raises(self):
         with pytest.raises(KeyError):
             fixture_safe_primes(77, count=2)
+
+
+class TestFixedBaseTable:
+    def test_matches_builtin_pow(self):
+        rng = random.Random(0)
+        modulus = fixture_safe_primes(128, count=1)[0]
+        base = rng.randrange(2, modulus)
+        table = FixedBaseTable(base, modulus, max_exponent_bits=96)
+        for _ in range(25):
+            e = rng.getrandbits(96)
+            assert table.pow(e) == pow(base, e, modulus)
+
+    @pytest.mark.parametrize("window_bits", [1, 3, 5, 8])
+    def test_window_sizes_agree(self, window_bits):
+        modulus = 10**12 + 39
+        table = FixedBaseTable(7, modulus, 64, window_bits=window_bits)
+        for e in (0, 1, 2, 63, 2**40 + 17, 2**64 - 1):
+            assert table.pow(e) == pow(7, e, modulus)
+
+    def test_exponent_zero_and_max(self):
+        table = FixedBaseTable(3, 1009, 8)
+        assert table.pow(0) == 1
+        assert table.pow(255) == pow(3, 255, 1009)
+
+    def test_out_of_range_exponent_rejected(self):
+        table = FixedBaseTable(3, 1009, 8)
+        with pytest.raises(ValueError):
+            table.pow(256)
+        with pytest.raises(ValueError):
+            table.pow(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FixedBaseTable(3, 1, 8)
+        with pytest.raises(ValueError):
+            FixedBaseTable(3, 1009, 0)
+        with pytest.raises(ValueError):
+            FixedBaseTable(3, 1009, 8, window_bits=0)
 
 
 class TestModularArithmetic:
