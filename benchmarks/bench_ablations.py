@@ -16,7 +16,7 @@ import random
 import numpy as np
 import pytest
 
-from conftest import record_report
+from conftest import record_json, record_report
 from repro.core import PerturbationOptions, perturbed_kmeans
 from repro.crypto import FixedPointCodec, decrypt, encrypt, generate_keypair
 from repro.datasets import courbogen_like_centroids, generate_cer
@@ -56,6 +56,10 @@ def test_ablation_eesum_vs_cleartext(benchmark):
         "(Alg. 2 delayed division is arithmetically exact, App. C.2.1)",
     ]
     record_report("ablation_eesum", "Ablation: EESum vs cleartext push–pull", rows)
+    record_json(
+        "ablation_eesum",
+        {"nodes": 24, "cycles": 12, "key_bits": 256, "max_abs_diff": float(max(diffs))},
+    )
     assert max(diffs) < 1e-3
 
 
@@ -92,6 +96,20 @@ def test_ablation_sensitivity_modes(benchmark, quality_workload):
         "Ablation: (sum, count) sensitivity calibration",
         rows,
     )
+    record_json(
+        "ablation_sensitivity",
+        {
+            "population": data.population,
+            "modes": {
+                mode: {
+                    "best_pre": float(min(r.pre_inertia_curve)),
+                    "final_pre": float(r.pre_inertia_curve[-1]),
+                    "final_centroids": int(r.n_centroids_curve[-1]),
+                }
+                for mode, r in results.items()
+            },
+        },
+    )
     # Joint calibration adds count noise ∝ sum sensitivity → loses more
     # centroids than the per-aggregate reading.
     assert (
@@ -124,5 +142,12 @@ def test_ablation_smoothing_window(benchmark, quality_workload):
         "ablation_smoothing",
         "Ablation: SMA window sweep (late-iteration inertia)",
         rows,
+    )
+    record_json(
+        "ablation_smoothing",
+        {
+            "population": data.population,
+            "late_inertia_by_window": {str(w): float(v) for w, v in tails.items()},
+        },
     )
     assert min(tails.values()) <= tails[0]  # some smoothing never hurts late

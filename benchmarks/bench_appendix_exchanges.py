@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_report
+from conftest import record_json, record_report
 from repro.gossip import PushPullSumSimulator
 from repro.privacy import GossipPrivacyPlan, newscast_exchanges
 
@@ -44,6 +44,15 @@ def test_appendix_b_exchange_table(benchmark):
         rows,
     )
 
+    record_json(
+        "appendixB_exchanges",
+        {
+            "population": POPULATION,
+            "exchanges": {
+                f"delta={d},e_max={e}": int(v) for (d, e), v in table.items()
+            },
+        },
+    )
     assert table[(0.995, 1e-12)] == 47  # the paper's number
     # Monotonicity: tighter error or higher delta → more exchanges.
     assert table[(0.995, 1e-12)] > table[(0.995, 1e-6)]
@@ -84,6 +93,16 @@ def test_theorem3_empirical_validity(benchmark):
         "appendixB_empirical",
         "App. B / Thm 3: empirical check of the exchange bound",
         rows,
+    )
+    record_json(
+        "appendixB_empirical",
+        {
+            "population": population,
+            "target_abs_error": e_max,
+            "predicted_exchanges": int(predicted),
+            "messages_per_node_needed": float(needed),
+            "final_max_abs_error": float(errors[-1][1]),
+        },
     )
     assert errors[-1][1] <= e_max  # the target is reachable
     # Thm 3's 0.581 constant is calibrated to Newscast's per-cycle variance

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_report
+from conftest import record_json, record_report
 from repro.core import GaussianMixtureState, perturbed_em
 from repro.datasets import TimeSeriesSet
 from repro.privacy import strategy_from_name
@@ -65,6 +65,16 @@ def test_extension_perturbed_em(benchmark, mixture_workload):
         rows,
     )
 
+    record_json(
+        "extension_em",
+        {
+            "population": data.population,
+            "log_likelihood": {
+                label: [float(v) for v in t.log_likelihood]
+                for label, t in finals.items()
+            },
+        },
+    )
     # The Chiaroscuro claims transfer: budget concentration improves early
     # likelihood, and every strategy stays bounded by its ε.
     g = finals["G"].log_likelihood

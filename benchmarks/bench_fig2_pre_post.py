@@ -8,7 +8,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_report
+from conftest import record_json, record_report
 from repro.clustering import lloyd_kmeans, sample_init
 from repro.core import perturbed_kmeans
 from repro.datasets import courbogen_like_centroids, generate_cer, generate_numed
@@ -60,6 +60,18 @@ def test_fig2ef_pre_post(benchmark, name, figure):
         rows,
     )
 
+    record_json(
+        f"fig2ef_{name}_pre_post",
+        {
+            "workload": name,
+            "population": data.population,
+            "baseline_best_inertia": float(baseline_best),
+            "strategies": {
+                label: {"pre": float(pre), "post": float(post)}
+                for label, (pre, post) in result.items()
+            },
+        },
+    )
     for label, (pre, post) in result.items():
         assert post >= pre * 0.99  # POST never beats PRE (noise only hurts)
         assert pre < baseline_best * 3  # the best iteration stays comparable

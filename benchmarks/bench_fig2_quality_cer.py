@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_report
+from conftest import record_json, record_report
 from repro.clustering import dataset_inertia, lloyd_kmeans
 from repro.core import PerturbationOptions, perturbed_kmeans
 from repro.datasets import courbogen_like_centroids, generate_cer
@@ -85,9 +85,14 @@ def test_fig2a_fig2c_cer_quality(benchmark, cer_workload):
         f"{'initial':<12}" + "".join(f"{K:>9d}" for _ in range(ITERATIONS)),
         f"{'no-perturb':<12}" + "".join(f"{v:>9d}" for v in baseline.n_centroids),
     ]
+    curves = {}
     for label, smoothing in STRATEGIES:
         inertia, centroids = _average_runs(data, init, label, smoothing)
         tag = f"{label}_SMA" if smoothing else label
+        curves[tag] = {
+            "pre_inertia": [float(v) for v in inertia],
+            "n_centroids": [float(v) for v in centroids],
+        }
         rows_inertia.append(f"{tag:<12}" + "".join(f"{v:>9.1f}" for v in inertia))
         rows_centroids.append(f"{tag:<12}" + "".join(f"{v:>9.1f}" for v in centroids))
 
@@ -102,6 +107,15 @@ def test_fig2a_fig2c_cer_quality(benchmark, cer_workload):
         rows_centroids,
     )
 
+    record_json(
+        "fig2ac_cer_quality",
+        {
+            "population": data.population,
+            "dataset_inertia": float(full),
+            "baseline_inertia": [float(v) for v in baseline.inertia],
+            "strategies": curves,
+        },
+    )
     # Shape assertions (who wins, where the crossover falls).
     g_sma, _ = _average_runs(data, init, "G", True)
     assert min(g_sma) < full / 4  # perturbed stays far below the upper bound

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_report
+from conftest import record_json, record_report
 from repro.clustering import dataset_inertia, lloyd_kmeans, sample_init
 from repro.core import PerturbationOptions, perturbed_kmeans
 from repro.datasets import generate_numed
@@ -76,9 +76,14 @@ def test_fig2b_fig2d_numed_quality(benchmark, numed_workload):
         f"{'initial':<12}" + "".join(f"{K:>9d}" for _ in range(ITERATIONS)),
         f"{'no-perturb':<12}" + "".join(f"{v:>9d}" for v in baseline.n_centroids),
     ]
+    curves = {}
     for label, smoothing in STRATEGIES:
         inertia, centroids = _average_runs(data, init, label, smoothing)
         tag = f"{label}_SMA" if smoothing else label
+        curves[tag] = {
+            "pre_inertia": [float(v) for v in inertia],
+            "n_centroids": [float(v) for v in centroids],
+        }
         rows_inertia.append(f"{tag:<12}" + "".join(f"{v:>9.1f}" for v in inertia))
         rows_centroids.append(f"{tag:<12}" + "".join(f"{v:>9.1f}" for v in centroids))
 
@@ -93,6 +98,15 @@ def test_fig2b_fig2d_numed_quality(benchmark, numed_workload):
         rows_centroids,
     )
 
+    record_json(
+        "fig2bd_numed_quality",
+        {
+            "population": data.population,
+            "dataset_inertia": float(full),
+            "baseline_inertia": [float(v) for v in baseline.inertia],
+            "strategies": curves,
+        },
+    )
     # Paper observation: smoothing barely changes NUMED (uniform clusters).
     with_sma, _ = _average_runs(data, init, "G", True)
     without, _ = _average_runs(data, init, "G", False)

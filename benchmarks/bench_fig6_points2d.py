@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import record_report
+from conftest import record_json, record_report
 from repro.clustering import lloyd_kmeans, sample_init
 from repro.core import PerturbationOptions, perturbed_kmeans
 from repro.datasets import generate_a3_like, generate_points2d
@@ -67,6 +67,16 @@ def test_fig6_points2d(benchmark):
         rows,
     )
 
+    record_json(
+        "fig6_points2d",
+        {
+            "population": data.population,
+            "iteration": ITERATION_OF_INTEREST,
+            "clear_median_distance": float(np.median(clear_d)),
+            "perturbed_median_distance": float(np.median(pert_d)),
+            "perturbed_within_half_pitch": float((pert_d < grid_pitch / 2).mean()),
+        },
+    )
     # Paper shape: perturbed centroids are less accurate but mostly land
     # within or near actual clusters.
     assert np.median(clear_d) < 20

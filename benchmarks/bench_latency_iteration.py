@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from conftest import record_report
+from conftest import record_json, record_report
 from repro.analysis import LatencyInputs, LocalCostModel, iteration_latency, measure_crypto_costs
 from repro.crypto import generate_threshold_keypair
 from repro.gossip import dissemination_cycles, messages_to_reach_error
@@ -63,6 +63,18 @@ def test_iteration_latency_composition(benchmark):
         "sec632_iteration_latency",
         "Sec 6.3.2: per-iteration latency composition",
         rows,
+    )
+    record_json(
+        "sec632_iteration_latency",
+        {
+            "population": 1_000_000,
+            "key_bits": keypair.public.key_bits,
+            "first_iteration_minutes": float(first.total_minutes),
+            "fifth_iteration_minutes": float(fifth.total_minutes),
+            "messages_per_node": float(first.messages_per_node),
+            "encrypt_seconds": float(inputs.encrypt_seconds),
+            "decrypt_seconds": float(inputs.decrypt_seconds),
+        },
     )
 
     # Shape: a few hundred messages per node; tens of minutes; the fifth

@@ -1,0 +1,200 @@
+"""Population scaling — object engine vs the struct-of-arrays plane.
+
+The paper's headline is clustering at 10⁵–10⁶ participants; the object
+engine (per-node dicts, Python loops) saturates around 10⁴.  This bench
+measures the protocol plane's scaling directly:
+
+1. **speedup** — per-exchange cost of the full protocol composition
+   (EESum with delayed-division counters + cleartext counter + min-id
+   dissemination) on the object engine (mock-homomorphic integers, so
+   crypto cost does not mask engine cost) vs the vectorized plane, at 10⁴
+   nodes: the acceptance floor is ≥ 50×;
+2. **scaling** — vectorized per-cycle wall-times at 10⁴ → 10⁶ nodes;
+3. **full loop** — a complete Chiaroscuro run (assignment → EESum →
+   noise → dissemination → collection → smoothing → convergence) with
+   ``protocol_plane="vectorized"`` at 10⁵ participants.
+
+All three land in ``out/BENCH_population_scaling.json``.
+``test_population_smoke`` is the CI subset with a wall-clock guard.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_json, record_report
+from repro.core import ChiaroscuroParams, ChiaroscuroRun
+from repro.datasets import TimeSeriesSet
+from repro.gossip import (
+    EESum,
+    EpidemicSum,
+    GossipEngine,
+    MinIdDissemination,
+    MockHomomorphicOps,
+    VectorizedEESum,
+    VectorizedGossipEngine,
+    VectorizedMinId,
+)
+from repro.privacy import Greedy
+
+K = 10
+SERIES_LENGTH = 20
+DIMS = K * (SERIES_LENGTH + 1)  # the k·(n+1) Diptych payload
+FRACTIONAL_BITS = 24
+
+
+def _object_seconds_per_exchange(population: int, cycles: int = 3) -> float:
+    """Full-protocol cycle cost on the object engine (mock-homomorphic)."""
+    rng = np.random.default_rng(0)
+    values = rng.uniform(-4.0, 4.0, size=(population, DIMS))
+    encoded = np.round(values * (1 << FRACTIONAL_BITS)).astype(np.int64)
+    # Genuine Python ints: the mock plane must pay the growing-big-int
+    # arithmetic a real run's plaintexts would, not boxed-float costs.
+    initial = {i: [int(v) for v in encoded[i]] for i in range(population)}
+    engine = GossipEngine(population, seed=1)
+    eesum = EESum(None, initial, ops=MockHomomorphicOps())
+    counter = EpidemicSum({i: np.array([1.0]) for i in range(population)})
+    dissemination = MinIdDissemination(
+        {i: (int(x), None) for i, x in enumerate(rng.integers(0, 1 << 62, population))}
+    )
+    engine.setup(eesum, counter, dissemination)
+    start = time.perf_counter()
+    exchanges = engine.run_cycles(cycles, eesum, counter, dissemination)
+    elapsed = time.perf_counter() - start
+    return elapsed / max(exchanges, 1)
+
+
+def _vectorized_seconds_per_exchange(population: int, cycles: int = 10) -> float:
+    """Same protocol composition on the struct-of-arrays plane."""
+    rng = np.random.default_rng(0)
+    values = np.concatenate(
+        [rng.uniform(-4.0, 4.0, size=(population, DIMS)), np.ones((population, 1))],
+        axis=1,
+    )
+    engine = VectorizedGossipEngine(population, seed=1)
+    eesum = VectorizedEESum(values, quantize_bits=FRACTIONAL_BITS)
+    dissemination = VectorizedMinId(
+        rng.integers(0, 1 << 62, population).astype(np.int64)
+    )
+    engine.run_cycle(eesum, dissemination)  # warm-up (allocations, caches)
+    start = time.perf_counter()
+    exchanges = engine.run_cycles(cycles, eesum, dissemination)
+    elapsed = time.perf_counter() - start
+    return elapsed / max(exchanges, 1)
+
+
+def _full_run(population: int, max_iterations: int, exchanges: int) -> dict:
+    """A complete vectorized-plane Chiaroscuro run; returns its telemetry."""
+    rng = np.random.default_rng(3)
+    data = TimeSeriesSet(
+        rng.uniform(0.0, 40.0, size=(population, SERIES_LENGTH)), 0.0, 40.0
+    )
+    init = rng.uniform(0.0, 40.0, size=(K, SERIES_LENGTH))
+    params = ChiaroscuroParams(
+        k=K,
+        max_iterations=max_iterations,
+        exchanges=exchanges,
+        protocol_plane="vectorized",
+    )
+    run = ChiaroscuroRun(data, Greedy(0.69), params, init, seed=0)
+    start = time.perf_counter()
+    result, trace = run.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "population": population,
+        "k": K,
+        "series_length": SERIES_LENGTH,
+        "exchanges": exchanges,
+        "iterations_completed": result.iterations,
+        "seconds_total": float(elapsed),
+        "seconds_per_iteration": float(elapsed / max(result.iterations, 1)),
+        "pre_inertia": [float(v) for v in result.pre_inertia_curve],
+        "n_centroids": [int(v) for v in result.n_centroids_curve],
+        "mean_exchanges_per_node": [float(v) for v in trace.exchanges_per_node],
+    }
+
+
+def test_population_scaling_speedup(benchmark):
+    """Acceptance: ≥ 50× per-exchange over the object engine at 10⁴ nodes,
+    plus a full Chiaroscuro loop at 10⁵ participants."""
+    benchmark.pedantic(
+        lambda: _vectorized_seconds_per_exchange(10_000, cycles=3),
+        rounds=1,
+        iterations=1,
+    )
+
+    object_cost = {p: _object_seconds_per_exchange(p) for p in (1_000, 10_000)}
+    vectorized_cost = {
+        p: _vectorized_seconds_per_exchange(p) for p in (10_000, 100_000, 1_000_000)
+    }
+    speedup = object_cost[10_000] / vectorized_cost[10_000]
+
+    full = _full_run(100_000, max_iterations=2, exchanges=15)
+
+    rows = [
+        f"{'plane':<14}{'population':>12}{'us/exchange':>14}",
+        *(
+            f"{'object':<14}{p:>12}{c * 1e6:>14.2f}"
+            for p, c in sorted(object_cost.items())
+        ),
+        *(
+            f"{'vectorized':<14}{p:>12}{c * 1e6:>14.2f}"
+            for p, c in sorted(vectorized_cost.items())
+        ),
+        f"per-exchange speedup at 10^4 nodes: {speedup:.0f}x (floor: 50x)",
+        (
+            f"full vectorized run at 10^5: {full['iterations_completed']} iterations "
+            f"in {full['seconds_total']:.1f} s "
+            f"({full['seconds_per_iteration']:.1f} s/iteration)"
+        ),
+    ]
+    record_report(
+        "population_scaling",
+        f"Population scaling: full protocol, {DIMS}-dim Diptych payload",
+        rows,
+    )
+    record_json(
+        "population_scaling",
+        {
+            "dims": DIMS,
+            "object_seconds_per_exchange": {
+                str(p): float(c) for p, c in object_cost.items()
+            },
+            "vectorized_seconds_per_exchange": {
+                str(p): float(c) for p, c in vectorized_cost.items()
+            },
+            "speedup_at_10k": float(speedup),
+            "full_run_100k": full,
+        },
+    )
+
+    assert speedup >= 50.0, f"vectorized plane speedup {speedup:.0f}x < 50x"
+    assert full["iterations_completed"] >= 1
+    assert full["n_centroids"][0] >= 1
+
+
+def test_population_smoke(benchmark):
+    """CI smoke: 10⁵ nodes × a few full-protocol cycles + a one-iteration
+    Chiaroscuro loop, wall-clock-guarded so regressions fail loudly."""
+    start = time.perf_counter()
+    per_exchange = _vectorized_seconds_per_exchange(100_000, cycles=3)
+    full = _full_run(100_000, max_iterations=1, exchanges=10)
+    elapsed = time.perf_counter() - start
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    record_json(
+        "population_smoke",
+        {
+            "population": 100_000,
+            "vectorized_seconds_per_exchange": float(per_exchange),
+            "full_run": full,
+            "wall_seconds": float(elapsed),
+        },
+    )
+    assert full["iterations_completed"] == 1
+    # Wall-clock guard: 10^5 nodes must stay comfortably interactive; a
+    # regression to object-engine-like scaling would blow far past this.
+    assert elapsed < 120.0, f"large-population smoke took {elapsed:.0f}s (cap 120s)"

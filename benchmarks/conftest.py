@@ -4,11 +4,20 @@ Every bench regenerates one of the paper's tables/figures and registers a
 text rendition via :func:`record_report`; the tables are printed in the
 pytest terminal summary (so they survive output capture) and written to
 ``benchmarks/out/<name>.txt`` for EXPERIMENTS.md.
+
+Machine-readable telemetry rides along: :func:`record_json` writes
+``benchmarks/out/BENCH_<name>.json`` with the bench's structured results
+wrapped in a common envelope (git revision, python version, timestamp), so
+the perf trajectory is trackable across PRs by diffing the JSON files.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import subprocess
+import sys
+import time
 
 _REPORTS: list[tuple[str, list[str]]] = []
 _OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -19,6 +28,38 @@ def record_report(name: str, title: str, lines: list[str]) -> None:
     _REPORTS.append((title, lines))
     _OUT_DIR.mkdir(exist_ok=True)
     (_OUT_DIR / f"{name}.txt").write_text(title + "\n" + "\n".join(lines) + "\n")
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def record_json(name: str, data: dict) -> None:
+    """Write ``out/BENCH_<name>.json``: the bench's results + envelope.
+
+    ``data`` is bench-specific (timings in seconds, populations, key sizes,
+    measured tables); the envelope adds provenance so a stored file is
+    self-describing.  Keys must be JSON-serializable — numpy scalars should
+    be converted by the caller (``float``/``int``).
+    """
+    _OUT_DIR.mkdir(exist_ok=True)
+    envelope = {
+        "bench": name,
+        "git_rev": _git_rev(),
+        "python": sys.version.split()[0],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "data": data,
+    }
+    (_OUT_DIR / f"BENCH_{name}.json").write_text(json.dumps(envelope, indent=2) + "\n")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

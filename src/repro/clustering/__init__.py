@@ -3,7 +3,14 @@
 """
 
 from .distance import assign_to_closest, pairwise_sq_euclidean, squared_euclidean
-from .dtw import dba_mean, dtw_assign, dtw_distance, dtw_path
+from .dtw import (
+    dba_mean,
+    dtw_assign,
+    dtw_assign_reference,
+    dtw_distance,
+    dtw_pairwise,
+    dtw_path,
+)
 from .inertia import dataset_inertia, inertia_report, inter_inertia, intra_inertia
 from .init import kmeanspp_init, sample_init, template_init, uniform_init
 from .kmeans import KMeansTrace, compute_means, lloyd_kmeans
@@ -15,7 +22,9 @@ __all__ = [
     "dataset_inertia",
     "dba_mean",
     "dtw_assign",
+    "dtw_assign_reference",
     "dtw_distance",
+    "dtw_pairwise",
     "dtw_path",
     "inertia_report",
     "inter_inertia",

@@ -5,11 +5,19 @@ richer iterative analytics over time-series as future work; DTW is the
 canonical elastic measure for the electricity/health series Chiaroscuro
 targets.  We provide:
 
-* :func:`dtw_distance` — classic O(n·m) dynamic program with an optional
+* :func:`dtw_distance` — O(n·m) dynamic program with an optional
   Sakoe–Chiba band (window) for the usual linear-time approximation;
+* :func:`dtw_pairwise` — all ``t × k`` series↔centroid distances as one
+  batched anti-diagonal (wavefront) DP, no Python-level per-cell loops;
 * :func:`dba_mean` — DTW Barycenter Averaging (Petitjean-style), the DTW
   analogue of the k-means computation step;
-* :func:`dtw_assign` — assignment step under DTW.
+* :func:`dtw_assign` — assignment step under DTW (batched).
+
+The DP is vectorized along anti-diagonals: every cell on diagonal
+``d = i + j`` depends only on diagonals ``d−1`` and ``d−2``, so one numpy
+operation fills a whole wavefront.  The classic per-cell loops survive as
+``_cost_matrix_reference`` / :func:`dtw_assign_reference` — the semantic
+reference the vectorized kernels are tested against cell-for-cell.
 
 These plug into the *cleartext* planes (baseline and perturbed-centralized
 k-means).  They are deliberately not wired into the encrypted protocol: the
@@ -22,10 +30,20 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["dtw_distance", "dtw_path", "dtw_assign", "dba_mean"]
+__all__ = [
+    "dtw_distance",
+    "dtw_path",
+    "dtw_pairwise",
+    "dtw_assign",
+    "dtw_assign_reference",
+    "dba_mean",
+]
 
 
-def _cost_matrix(a: np.ndarray, b: np.ndarray, window: int | None) -> np.ndarray:
+def _cost_matrix_reference(
+    a: np.ndarray, b: np.ndarray, window: int | None
+) -> np.ndarray:
+    """The per-cell DP loop — kept as the semantic reference for tests."""
     n, m = len(a), len(b)
     if window is not None:
         window = max(window, abs(n - m))
@@ -40,6 +58,37 @@ def _cost_matrix(a: np.ndarray, b: np.ndarray, window: int | None) -> np.ndarray
         for j in range(lo, hi + 1):
             d = (ai - b[j - 1]) ** 2
             cost[i, j] = d + min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+    return cost
+
+
+def _diag_bounds(d: int, n: int, m: int, window: int | None) -> tuple[int, int]:
+    """Inclusive ``i`` range of in-band cells on anti-diagonal ``d = i + j``."""
+    lo, hi = max(1, d - m), min(n, d - 1)
+    if window is not None:
+        # |i - j| <= w with j = d - i  ⇒  (d - w)/2 <= i <= (d + w)/2.
+        lo = max(lo, -((window - d) // 2))  # ceil((d - w) / 2)
+        hi = min(hi, (d + window) // 2)
+    return lo, hi
+
+
+def _cost_matrix(a: np.ndarray, b: np.ndarray, window: int | None) -> np.ndarray:
+    """Accumulated-cost matrix, filled one anti-diagonal at a time."""
+    n, m = len(a), len(b)
+    if window is not None:
+        window = max(window, abs(n - m))
+    sq = (a[:, None] - b[None, :]) ** 2
+    cost = np.full((n + 1, m + 1), np.inf)
+    cost[0, 0] = 0.0
+    for d in range(2, n + m + 1):
+        lo, hi = _diag_bounds(d, n, m, window)
+        if lo > hi:
+            continue
+        i = np.arange(lo, hi + 1)
+        j = d - i
+        best = np.minimum(
+            np.minimum(cost[i - 1, j], cost[i, j - 1]), cost[i - 1, j - 1]
+        )
+        cost[i, j] = sq[i - 1, j - 1] + best
     return cost
 
 
@@ -79,10 +128,89 @@ def dtw_path(
     return path
 
 
+def dtw_pairwise(
+    series: np.ndarray,
+    centroids: np.ndarray,
+    window: int | None = None,
+    chunk_size: int = 2048,
+) -> np.ndarray:
+    """All ``t × k`` DTW distances as one batched wavefront DP.
+
+    Every (series, centroid) pair advances through the same anti-diagonal
+    schedule, so the per-diagonal recurrence runs as a single
+    ``(chunk, k, diagonal)`` array operation.  Only the last two diagonals
+    are kept (three rolling buffers), bounding memory at
+    ``O(chunk · k · n)`` regardless of series length.
+    """
+    series = np.asarray(series, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    if series.ndim != 2 or centroids.ndim != 2:
+        raise ValueError("dtw_pairwise expects 2-D series and centroid matrices")
+    t, n = series.shape
+    k, m = centroids.shape
+    if window is not None:
+        window = max(window, abs(n - m))
+    distances = np.empty((t, k))
+    for start in range(0, t, chunk_size):
+        block = series[start : start + chunk_size]
+        distances[start : start + chunk_size] = _pairwise_block(
+            block, centroids, window
+        )
+    return np.sqrt(distances)
+
+
+def _pairwise_block(
+    series: np.ndarray, centroids: np.ndarray, window: int | None
+) -> np.ndarray:
+    """Squared accumulated DTW costs for one chunk (wavefront, 3 buffers).
+
+    Buffer slot ``i`` of diagonal ``d`` holds ``D[i, d−i]``; the recurrence
+    reads ``D[i−1, j]`` and ``D[i, j−1]`` from diagonal ``d−1`` (slots
+    ``i−1`` and ``i``) and ``D[i−1, j−1]`` from diagonal ``d−2`` (slot
+    ``i−1``).  The three buffers rotate in place; only the band a recycled
+    buffer actually wrote two diagonals ago is reset, so per-diagonal work
+    is proportional to the band width, not the full buffer.
+    """
+    t, n = series.shape
+    k, m = centroids.shape
+    shape = (t, k, n + 1)
+    prev2 = np.full(shape, np.inf)  # diagonal d − 2
+    prev = np.full(shape, np.inf)  # diagonal d − 1
+    cur = np.full(shape, np.inf)  # diagonal d (recycled each step)
+    prev2[:, :, 0] = 0.0  # D[0, 0]
+    bands = {id(prev2): (0, 0), id(prev): None, id(cur): None}
+    for d in range(2, n + m + 1):
+        stale = bands[id(cur)]
+        if stale is not None:
+            cur[:, :, stale[0] : stale[1] + 1] = np.inf
+        lo, hi = _diag_bounds(d, n, m, window)
+        if lo <= hi:
+            j = d - np.arange(lo, hi + 1)
+            local = (series[:, None, lo - 1 : hi] - centroids[None, :, j - 1]) ** 2
+            best = np.minimum(
+                np.minimum(prev[:, :, lo - 1 : hi], prev[:, :, lo : hi + 1]),
+                prev2[:, :, lo - 1 : hi],
+            )
+            cur[:, :, lo : hi + 1] = local + best
+            bands[id(cur)] = (lo, hi)
+        else:
+            bands[id(cur)] = None
+        prev2, prev, cur = prev, cur, prev2
+    return prev[:, :, n].copy()  # D[n, m] sits on the last diagonal at slot n
+
+
 def dtw_assign(
     series: np.ndarray, centroids: np.ndarray, window: int | None = None
 ) -> np.ndarray:
-    """Assignment step under DTW (O(t·k·n²); use small datasets or a window)."""
+    """Assignment step under DTW — batched over all ``t × k`` pairs."""
+    return np.argmin(dtw_pairwise(series, centroids, window), axis=1).astype(np.int64)
+
+
+def dtw_assign_reference(
+    series: np.ndarray, centroids: np.ndarray, window: int | None = None
+) -> np.ndarray:
+    """Per-pair loop assignment — the reference :func:`dtw_assign` is tested
+    against (O(t·k·n²) Python-level iteration)."""
     series = np.asarray(series, dtype=float)
     centroids = np.asarray(centroids, dtype=float)
     labels = np.empty(len(series), dtype=np.int64)

@@ -40,6 +40,17 @@ class ChiaroscuroParams:
     full protocol run consumes the crypto RNG differently per plane
     (fewer ciphertexts → fewer seeds), so seeded runs are reproducible
     *per plane*, not across planes.
+
+    ``protocol_plane`` selects the *simulation substrate* for the whole
+    run: ``"object"`` is the cycle-driven engine with genuine Damgård–Jurik
+    ciphertexts (faithful, tens-to-hundreds of devices); ``"vectorized"``
+    is the struct-of-arrays engine over the mock-homomorphic integer plane
+    (full Algorithm 2/EpiDis/collection semantics as array operations,
+    10⁵–10⁶ participants).  The vectorized plane skips key generation and
+    carries the integers real ciphertexts would decrypt to — decoded
+    results are validated against the object plane by shadow execution
+    (``tests/gossip``); like the packing knob, RNG consumption differs per
+    plane, so seeded runs are reproducible per plane.
     """
 
     # k-means
@@ -66,10 +77,11 @@ class ChiaroscuroParams:
     smoothing_fraction: float = 0.2  # SMA window = 20 % of series length
     use_smoothing: bool = True
 
-    # execution (batched crypto plane)
+    # execution (batched crypto plane + simulation substrate)
     crypto_backend: str = "serial"
     backend_workers: int = 0  # 0 = one worker per CPU
     use_packing: bool = True
+    protocol_plane: str = "object"
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -94,6 +106,8 @@ class ChiaroscuroParams:
             raise ValueError("crypto_backend must be 'serial' or 'process'")
         if self.backend_workers < 0:
             raise ValueError("backend_workers must be >= 0 (0 = one per CPU)")
+        if self.protocol_plane not in ("object", "vectorized"):
+            raise ValueError("protocol_plane must be 'object' or 'vectorized'")
 
     def tau_count(self, population: int) -> int:
         """Absolute key-share threshold τ for a given population size."""

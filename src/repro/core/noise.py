@@ -23,7 +23,7 @@ from ..crypto.damgard_jurik import encrypt
 from ..crypto.encoding import FixedPointCodec
 from ..crypto.keys import PublicKey
 from ..privacy.laplace import joint_sensitivity
-from ..privacy.noise_shares import gen_noise_share, surplus_correction
+from ..privacy.noise_shares import gen_noise_share, gen_noise_shares, surplus_correction
 
 __all__ = ["NoisePlan", "encrypt_share_vector"]
 
@@ -57,6 +57,14 @@ class NoisePlan:
     def draw_share(self, rng: np.random.Generator) -> np.ndarray:
         """One participant's noise-share vector (Def. 5), length ``dimensions``."""
         return gen_noise_share(self.n_nu, self.scale, rng, size=self.dimensions)
+
+    def draw_shares(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """All ``count`` participants' share vectors in one batch draw.
+
+        The vectorized plane's entry point: a single ``(count, dimensions)``
+        Gamma-difference sample instead of ``count`` per-participant draws.
+        """
+        return gen_noise_shares(count, self.n_nu, self.scale, rng, self.dimensions)
 
     def correction(self, contributors: int, rng: np.random.Generator) -> np.ndarray:
         """The surplus-correction proposal for an observed contributor count."""

@@ -1,22 +1,31 @@
-"""The full Chiaroscuro execution sequence (Algorithm 1) — real crypto plane.
+"""The full Chiaroscuro execution sequence (Algorithm 1) — both substrates.
 
-This orchestrates, over the cycle-driven gossip engine and with genuine
-Damgård–Jurik threshold cryptography, the loop every participant runs:
+This orchestrates the loop every participant runs:
 
     while not converged and n_it ≤ n_it^max:
         assignment step   (local, cleartext — Participant)
         computation step  (Algorithm 3 — ComputationStep)
         convergence step  (local, cleartext)
 
-It is the "strong proof of concept" plane: faithful down to the ciphertext
-algebra, sized for populations of tens-to-hundreds of devices (the paper's
-Peersim plane had the same reach; scale experiments use the vectorized
-gossip plane and the perturbed centralized k-means, as the paper did).
+over one of two simulation substrates, selected by
+``ChiaroscuroParams.protocol_plane``:
 
-The run keeps one canonical trace (node 0's view — all nodes agree up to
-the epidemic approximation error, which is recorded per iteration as
-``agreement``) and enforces the iteration-capped termination criterion of
-Sec. 4.2.4 plus the budget strategy's own bound.
+* ``"object"`` — the cycle-driven gossip engine with genuine Damgård–Jurik
+  threshold cryptography.  The "strong proof of concept" plane: faithful
+  down to the ciphertext algebra, sized for populations of
+  tens-to-hundreds of devices (the paper's Peersim plane had the same
+  reach);
+* ``"vectorized"`` — the struct-of-arrays engine over the mock-homomorphic
+  integer plane (:class:`repro.core.computation.VectorizedComputationStep`).
+  Full Algorithm 2/EpiDis/collection semantics as whole-population array
+  operations, sized for the paper's 10⁵–10⁶-participant Figs. 3–4 curves.
+  Validated against the object plane by shadow-execution equivalence tests
+  at small populations (``tests/gossip``).
+
+The run keeps one canonical trace (the smallest-id weighted node's view —
+all nodes agree up to the epidemic approximation error, which is recorded
+per iteration as ``agreement``) and enforces the iteration-capped
+termination criterion of Sec. 4.2.4 plus the budget strategy's own bound.
 """
 
 from __future__ import annotations
@@ -34,10 +43,11 @@ from ..crypto.encoding import FixedPointCodec, PackedCodec
 from ..crypto.threshold import ThresholdKeypair, generate_threshold_keypair
 from ..datasets.timeseries import TimeSeriesSet
 from ..gossip.engine import GossipEngine
+from ..gossip.vectorized_protocol import VectorizedGossipEngine
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.budget import BudgetExhausted, BudgetStrategy
 from .batching import PackedPlane, ScalarPlane
-from .computation import ComputationStep
+from .computation import ComputationStep, VectorizedComputationStep
 from .config import ChiaroscuroParams
 from .noise import NoisePlan
 from .participant import Participant
@@ -84,6 +94,19 @@ class ChiaroscuroRun:
 
         population = dataset.t
         tau = params.tau_count(population)
+        if params.protocol_plane == "vectorized":
+            # Mock-homomorphic substrate: no key material, no per-device
+            # objects — the whole population lives in arrays.  The
+            # fixed-point grid matches the object plane's codec resolution
+            # so both planes quantize inputs identically.
+            self.keypair = keypair
+            self.fractional_bits = 24
+            self.codec = None
+            self.encryptor = None
+            self.backend = None
+            self.plane = None
+            self.participants = []
+            return
         if keypair is None:
             keypair = generate_threshold_keypair(
                 key_bits,
@@ -174,6 +197,8 @@ class ChiaroscuroRun:
         stays reusable (a process-pool backend re-creates its executor
         lazily).
         """
+        if self.params.protocol_plane == "vectorized":
+            return self._run_vectorized(churn)
         try:
             return self._run(churn)
         finally:
@@ -237,47 +262,151 @@ class ChiaroscuroRun:
             trace.agreement.append(output.agreement())
             trace.exchanges_per_node.append(engine.mean_exchanges_per_node)
 
-            # Canonical post-processing (every node does the same locally).
-            canonical = min(output.sums)
-            means, counts = output.perturbed_means(canonical)
-            survive = counts > 0.5  # counts are perturbed reals; lost below
-            if not survive.any():
-                break
-            perturbed = means[survive]
-            if do_smooth:
-                perturbed = sma_smooth(perturbed, window)
-
-            labels = assign_to_closest(dataset.values, centroids)
-            true_pre = self._pre_inertia(labels, len(centroids))
-            post_labels = assign_to_closest(dataset.values, perturbed)
-            post = intra_inertia(dataset.values, perturbed, post_labels)
-
-            result.history.append(
-                IterationStats(
-                    iteration=iteration,
-                    pre_inertia=true_pre,
-                    post_inertia=float(post),
-                    n_centroids=int(survive.sum()),
-                    epsilon_spent=epsilon_i,
-                    centroids=perturbed.copy(),
-                )
+            centroids, stop = self._advance_centroids(
+                result, output, centroids, iteration, epsilon_i, do_smooth, window
             )
-
-            if params.theta > 0 and perturbed.shape == centroids.shape:
-                displacement = float(np.mean((perturbed - centroids) ** 2))
-                if displacement < params.theta:
-                    result.converged = True
-                    centroids = perturbed
-                    break
-            centroids = perturbed
+            if stop:
+                break
 
         result.centroids = centroids
         return result, trace
 
+    def _run_vectorized(
+        self, churn: float
+    ) -> tuple[ClusteringResult, DistributedTrace]:
+        """Algorithm 1 over the struct-of-arrays plane (10⁵–10⁶ participants)."""
+        params = self.params
+        dataset = self.dataset
+        accountant = PrivacyAccountant(epsilon_budget=self.strategy.epsilon)
+        centroids = self.initial_centroids.copy()
+        window = params.smoothing_window(dataset.n)
+        do_smooth = params.use_smoothing and 0 < window < dataset.n
+
+        result = ClusteringResult(
+            centroids=centroids, strategy=self.strategy.name, smoothing=do_smooth
+        )
+        trace = DistributedTrace()
+        n_nu = params.noise_share_count(dataset.t)
+        tau = params.tau_count(dataset.t)
+        stride = dataset.n + 1
+
+        for iteration in range(1, params.max_iterations + 1):
+            try:
+                epsilon_i = self.strategy.epsilon_for(iteration)
+                accountant.charge(epsilon_i)
+            except BudgetExhausted:
+                break
+
+            engine = VectorizedGossipEngine(
+                dataset.t, seed=self.seed + 1000 * iteration, churn=churn
+            )
+
+            # Assignment step (Alg. 1 l.5-6), whole population at once: the
+            # t × k·(n+1) matrix whose row i carries series i in the
+            # assigned cluster's stripe and a count of 1 in its last slot.
+            k = len(centroids)
+            labels = assign_to_closest(dataset.values, centroids)
+            mean_matrix = np.zeros((dataset.t, k * stride))
+            rows = np.arange(dataset.t)
+            base = labels * stride
+            mean_matrix[rows[:, None], base[:, None] + np.arange(dataset.n)] = (
+                dataset.values
+            )
+            mean_matrix[rows, base + dataset.n] = 1.0
+
+            # Computation step (Algorithm 3) on the mock-homomorphic plane.
+            plan = NoisePlan(
+                k=k,
+                series_length=dataset.n,
+                dmin=dataset.dmin,
+                dmax=dataset.dmax,
+                epsilon=epsilon_i,
+                n_nu=n_nu,
+            )
+            step = VectorizedComputationStep(
+                noise_plan=plan,
+                exchanges=params.exchanges,
+                threshold=tau,
+                noise_rng=self.noise_rng,
+                fractional_bits=self.fractional_bits,
+            )
+            output = step.run(engine, mean_matrix)
+            del mean_matrix
+            if not output.sums:
+                break
+            trace.agreement.append(output.agreement())
+            trace.exchanges_per_node.append(engine.mean_exchanges_per_node)
+
+            centroids, stop = self._advance_centroids(
+                result, output, centroids, iteration, epsilon_i, do_smooth, window,
+                labels=labels,
+            )
+            if stop:
+                break
+
+        result.centroids = centroids
+        return result, trace
+
+    def _advance_centroids(
+        self,
+        result: ClusteringResult,
+        output,
+        centroids: np.ndarray,
+        iteration: int,
+        epsilon_i: float,
+        do_smooth: bool,
+        window: int,
+        labels: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, bool]:
+        """Canonical post-processing (every node does the same locally).
+
+        Shared by both substrates: decode the canonical node's perturbed
+        means, drop lost clusters, smooth, record the iteration's quality
+        stats and apply the θ convergence test.  Returns the next centroids
+        plus a stop flag.  ``labels`` lets the vectorized path reuse its
+        assignment-step result instead of recomputing the t × k argmin (the
+        dominant cleartext cost at 10⁵–10⁶ participants).
+        """
+        params = self.params
+        dataset = self.dataset
+        canonical = min(output.sums)
+        means, counts = output.perturbed_means(canonical)
+        survive = counts > 0.5  # counts are perturbed reals; lost below
+        if not survive.any():
+            return centroids, True
+        perturbed = means[survive]
+        if do_smooth:
+            perturbed = sma_smooth(perturbed, window)
+
+        if labels is None:
+            labels = assign_to_closest(dataset.values, centroids)
+        true_pre = self._pre_inertia(labels, len(centroids))
+        post_labels = assign_to_closest(dataset.values, perturbed)
+        post = intra_inertia(dataset.values, perturbed, post_labels)
+
+        result.history.append(
+            IterationStats(
+                iteration=iteration,
+                pre_inertia=true_pre,
+                post_inertia=float(post),
+                n_centroids=int(survive.sum()),
+                epsilon_spent=epsilon_i,
+                centroids=perturbed.copy(),
+            )
+        )
+
+        if params.theta > 0 and perturbed.shape == centroids.shape:
+            displacement = float(np.mean((perturbed - centroids) ** 2))
+            if displacement < params.theta:
+                result.converged = True
+                return perturbed, True
+        return perturbed, False
+
     def close(self) -> None:
         """Release backend resources (worker pools); the run can be reused —
         a process-pool backend re-creates its executor lazily."""
-        self.backend.close()
+        if self.backend is not None:
+            self.backend.close()
 
     def _pre_inertia(self, labels: np.ndarray, k: int) -> float:
         """Inertia of the current partition against its true (local) means."""

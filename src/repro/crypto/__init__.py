@@ -31,7 +31,7 @@ from .damgard_jurik import (
     homomorphic_scalar_mul,
     powers_of_g,
 )
-from .encoding import FixedPointCodec, PackedCodec
+from .encoding import FixedPointCodec, PackedCodec, quantize_to_grid
 from .numtheory import FixedBaseTable
 from .keys import KeyShare, PrivateKey, PublicKey, ThresholdContext
 from .serialization import (
@@ -57,6 +57,7 @@ __all__ = [
     "FixedPointCodec",
     "KeyShare",
     "PackedCodec",
+    "quantize_to_grid",
     "PrivateKey",
     "ProcessPoolBackend",
     "PublicKey",

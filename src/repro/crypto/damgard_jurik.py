@@ -263,8 +263,32 @@ def dlog_1_plus_n(public: PublicKey, u: int) -> int:
     return a
 
 
-def decrypt(private: PrivateKey, ciphertext: int) -> int:
-    """Decrypt with the CRT exponent: ``c^d = (1+n)^a``, then extract ``a``."""
+def _decrypt_reference(private: PrivateKey, ciphertext: int) -> int:
+    """Single full-width modexp — the reference path CRT-split is tested
+    against for bit-identical results."""
     public = private.public
     u = pow(ciphertext, private.d, public.n_s1)
+    return dlog_1_plus_n(public, u)
+
+
+def decrypt(private: PrivateKey, ciphertext: int) -> int:
+    """Decrypt with the CRT exponent: ``c^d = (1+n)^a``, then extract ``a``.
+
+    The modexp is CRT-split: ``n^{s+1} = p^{s+1}·q^{s+1}`` are coprime, so
+    ``c^d`` is computed modulo each prime power separately and recombined
+    with :func:`crt_pair`.  Within ``Z*_{p^{s+1}}`` (a group of order
+    ``p^s·(p−1)``) the exponent reduces to ``d mod p^s·(p−1)``, halving both
+    the operand width and the exponent length — the classic ~3–4× RSA/
+    Paillier decryption speedup, here applied to the Fig. 5 "Decrypt" bar.
+    Bit-identical to :func:`_decrypt_reference` for every valid ciphertext
+    (ciphertexts are units mod ``n^{s+1}``, so the order-based exponent
+    reduction is sound).
+    """
+    public = private.public
+    s1 = public.s + 1
+    p_s1 = private.p**s1
+    q_s1 = private.q**s1
+    u_p = pow(ciphertext % p_s1, private.d % (p_s1 // private.p * (private.p - 1)), p_s1)
+    u_q = pow(ciphertext % q_s1, private.d % (q_s1 // private.q * (private.q - 1)), q_s1)
+    u = crt_pair(u_p, p_s1, u_q, q_s1)
     return dlog_1_plus_n(public, u)

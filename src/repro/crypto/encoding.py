@@ -56,9 +56,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .keys import PublicKey
 
-__all__ = ["FixedPointCodec", "PackedCodec"]
+__all__ = ["FixedPointCodec", "PackedCodec", "quantize_to_grid"]
+
+
+def quantize_to_grid(values: np.ndarray, fractional_bits: int) -> np.ndarray:
+    """Snap reals onto the ``2^{-fractional_bits}`` fixed-point grid.
+
+    Vectorized mirror of ``FixedPointCodec.encode`` followed by ``decode``
+    (both use round-half-even): the mock-homomorphic plane quantizes its
+    inputs with this function so the numbers it gossips are exactly the
+    numbers a real ciphertext of the same value would decode to.
+    """
+    scale = float(1 << fractional_bits)
+    return np.round(np.asarray(values, dtype=float) * scale) / scale
 
 
 @dataclass(frozen=True)

@@ -6,9 +6,20 @@ vectorized large-population plane.
 
 from .aggregation import EpidemicSum
 from .churn import ChurnModel
-from .decryption import DecryptionState, EpidemicDecryption, TokenDecryption
-from .dissemination import MinIdDissemination
-from .eesum import EESum, EESumState
+from .decryption import (
+    DecryptionState,
+    EpidemicDecryption,
+    TokenDecryption,
+    VectorizedShareCollection,
+)
+from .dissemination import MinIdDissemination, VectorizedMinId
+from .eesum import (
+    EESum,
+    EESumState,
+    HomomorphicOps,
+    MockHomomorphicOps,
+    VectorizedEESum,
+)
 from .engine import GossipEngine, Node
 from .metrics import LatencyFit, fit_linear, fit_logarithmic
 from .peer_sampling import NewscastView
@@ -17,8 +28,10 @@ from .vectorized import (
     SumErrorTrace,
     dissemination_cycles,
     messages_to_reach_error,
+    random_pairing,
     simulate_sum_error,
 )
+from .vectorized_protocol import VectorizedGossipEngine
 
 __all__ = [
     "ChurnModel",
@@ -28,16 +41,23 @@ __all__ = [
     "EpidemicDecryption",
     "EpidemicSum",
     "GossipEngine",
+    "HomomorphicOps",
     "LatencyFit",
     "MinIdDissemination",
+    "MockHomomorphicOps",
     "NewscastView",
     "Node",
     "PushPullSumSimulator",
     "SumErrorTrace",
     "TokenDecryption",
+    "VectorizedEESum",
+    "VectorizedGossipEngine",
+    "VectorizedMinId",
+    "VectorizedShareCollection",
     "dissemination_cycles",
     "fit_linear",
     "fit_logarithmic",
     "messages_to_reach_error",
+    "random_pairing",
     "simulate_sum_error",
 ]

@@ -28,6 +28,17 @@ class ChurnModel:
             if not 0.0 <= value < 1.0:
                 raise ValueError("churn probabilities must be in [0, 1)")
 
+    def exchange_mask(self, population: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean availability mask for one gossip cycle.
+
+        The vectorized plane's analogue of the object engine's per-cycle
+        online redraw: each node is offline for the cycle with probability
+        ``per_exchange`` (churn surface (1) of Sec. 6.1.5).
+        """
+        if self.per_exchange == 0.0:
+            return np.ones(population, dtype=bool)
+        return rng.random(population) >= self.per_exchange
+
     def iteration_mask(self, population: int, rng: np.random.Generator) -> np.ndarray:
         """Boolean availability mask for one k-means iteration.
 

@@ -14,9 +14,11 @@ from __future__ import annotations
 import random
 from typing import Any
 
+import numpy as np
+
 from .engine import GossipProtocol, Node
 
-__all__ = ["MinIdDissemination"]
+__all__ = ["MinIdDissemination", "VectorizedMinId"]
 
 _STATE = "epidis"
 
@@ -50,3 +52,39 @@ class MinIdDissemination(GossipProtocol):
         """True when every node holds the same (global-minimum) proposal."""
         values = {node.state[_STATE] and node.state[_STATE][0] for node in nodes}
         return len(values) == 1 and None not in values
+
+
+class VectorizedMinId:
+    """EpiDis as whole-population array operations (struct-of-arrays).
+
+    ``ids`` holds one proposal identifier per node; nodes without a proposal
+    carry :attr:`NO_PROPOSAL` (which loses every minimum, exactly like the
+    object protocol's ``None`` state).  On an exchange both sides adopt the
+    smaller identifier — ties resolve to the same value on both planes, so
+    shadow execution on a shared pairing schedule yields identical final
+    identifier arrays (asserted in ``tests/gossip``).
+
+    Payloads are resolved *by identifier*: the protocol gossips only the
+    64-bit identifiers (what dominates the paper's message accounting);
+    the caller maps the final identifiers back to the payloads it proposed,
+    which is exact because an identifier uniquely names its proposal.
+    """
+
+    NO_PROPOSAL = np.iinfo(np.int64).max
+
+    def __init__(self, ids: np.ndarray) -> None:
+        ids = np.array(ids, dtype=np.int64, copy=True)
+        if ids.ndim != 1 or len(ids) < 2:
+            raise ValueError("ids must be one identifier per node (pop >= 2)")
+        self.ids = ids
+
+    def exchange_pairs(self, left: np.ndarray, right: np.ndarray) -> None:
+        best = np.minimum(self.ids[left], self.ids[right])
+        self.ids[left] = best
+        self.ids[right] = best
+
+    def converged(self) -> bool:
+        """True when every node holds the same (global-minimum) identifier
+        — the array mirror of :meth:`MinIdDissemination.converged`."""
+        first = self.ids[0]
+        return first != self.NO_PROPOSAL and bool((self.ids == first).all())

@@ -20,14 +20,57 @@ encrypted noise to the encrypted means at the end.
 from __future__ import annotations
 
 import random
+from fractions import Fraction
+
+import numpy as np
 
 from ..crypto.damgard_jurik import homomorphic_add, homomorphic_scalar_mul
+from ..crypto.encoding import quantize_to_grid
 from ..crypto.keys import PublicKey
 from .engine import GossipProtocol, Node
 
-__all__ = ["EESum", "EESumState"]
+__all__ = [
+    "EESum",
+    "EESumState",
+    "HomomorphicOps",
+    "MockHomomorphicOps",
+    "VectorizedEESum",
+]
 
 _STATE = "eesum"
+
+
+class HomomorphicOps:
+    """The real ciphertext algebra: Damgård–Jurik multiply/exponentiate."""
+
+    def __init__(self, public: PublicKey) -> None:
+        self.public = public
+
+    def add(self, c1: int, c2: int) -> int:
+        return homomorphic_add(self.public, c1, c2)
+
+    def scalar_mul(self, ciphertext: int, scalar: int) -> int:
+        return homomorphic_scalar_mul(self.public, ciphertext, scalar)
+
+
+class MockHomomorphicOps:
+    """The mock-homomorphic integer plane: ``E(a) = a``.
+
+    Addition and scalar multiplication act directly on the plaintext
+    integers, so a protocol run carries exactly the integers a real run's
+    ciphertexts would decrypt to (no modular wrap — the capacity check of
+    :meth:`repro.crypto.encoding.FixedPointCodec.check_capacity` guarantees
+    real runs never wrap either).  This is what lets the object engine
+    execute full EESum semantics at populations where big-int modexps are
+    unaffordable, and what the vectorized plane's equivalence tests compare
+    against.
+    """
+
+    def add(self, c1: int, c2: int) -> int:
+        return c1 + c2
+
+    def scalar_mul(self, ciphertext: int, scalar: int) -> int:
+        return ciphertext * scalar
 
 
 class EESumState:
@@ -55,11 +98,17 @@ class EESum(GossipProtocol):
 
     def __init__(
         self,
-        public: PublicKey,
+        public: PublicKey | None,
         initial: dict[int, list[int]],
         weight_holder: int = 0,
+        ops: HomomorphicOps | MockHomomorphicOps | None = None,
     ) -> None:
+        if ops is None:
+            if public is None:
+                raise ValueError("EESum needs a public key or explicit ops")
+            ops = HomomorphicOps(public)
         self.public = public
+        self.ops = ops
         self.initial = initial
         self.weight_holder = weight_holder
 
@@ -82,11 +131,11 @@ class EESum(GossipProtocol):
             low, high = (a, b) if a.count < b.count else (b, a)
             factor = 1 << (high.count - low.count)
             low.ciphertexts = [
-                homomorphic_scalar_mul(self.public, c, factor) for c in low.ciphertexts
+                self.ops.scalar_mul(c, factor) for c in low.ciphertexts
             ]
             low.omega *= factor
         merged = [
-            homomorphic_add(self.public, ca, cb)
+            self.ops.add(ca, cb)
             for ca, cb in zip(a.ciphertexts, b.ciphertexts)
         ]
         omega = a.omega + b.omega
@@ -95,3 +144,113 @@ class EESum(GossipProtocol):
             side.ciphertexts = list(merged)
             side.omega = omega
             side.count = count
+
+
+class VectorizedEESum:
+    """Algorithm 2 as whole-population array operations (struct-of-arrays).
+
+    State is three arrays over ``population`` nodes: the value matrix
+    ``values`` (``population × dims``), the weight vector ``omega`` and the
+    shared exchange counter ``count`` — one counter per node covering the
+    whole k×(n+1) Diptych vector, exactly as the object protocol keeps one
+    ``EESumState.count`` for its whole ciphertext list.
+
+    **Representation.**  The object plane stores the delayed-division
+    integers ``v = σ·2^count`` (and ``ω_int = ω·2^count``); this plane
+    stores the *normalized* pair ``(σ, ω)`` plus ``count``.  The Alg. 2
+    exchange — scale the less-advanced side by ``2^{|n_r − n_l|}``, add,
+    advance both counters to ``max(n_l, n_r) + 1`` — collapses in the
+    normalized representation to
+
+        σ' = (σ_l·2^{c_l}·2^{max−c_l} + σ_r·2^{c_r}·2^{max−c_r}) / 2^{max+1}
+           = (σ_l + σ_r) / 2,            c' = max(c_l, c_r) + 1,
+
+    i.e. the delayed divisions cancel the alignment scalings *exactly* (a
+    restatement of the App. C.2.1 equivalence).  Both representations are
+    dyadic-rational–exact: as long as numerators fit a float64 mantissa the
+    arrays hold the same numbers the object plane's integers denote, and
+    :meth:`scaled_state` re-materializes those integers bit-for-bit (the
+    equivalence tests assert identity against a mock-homomorphic object
+    run on the same pairing schedule).
+
+    ``values`` is quantized to the ``2^{-quantize_bits}`` fixed-point grid
+    at construction when ``quantize_bits`` is given, mirroring
+    ``FixedPointCodec.encode``'s round-half-even.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        weight_holder: int = 0,
+        quantize_bits: int | None = None,
+        copy: bool = True,
+    ) -> None:
+        """``copy=False`` takes ownership of ``values`` without duplicating
+        it — the k·(n+1) matrix is the dominant allocation at 10⁵–10⁶
+        nodes, and the computation step hands over a buffer it built for
+        exactly this purpose."""
+        if copy:
+            values = np.array(values, dtype=float, copy=True)
+        else:
+            values = np.asarray(values, dtype=float)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.ndim != 2 or len(values) < 2:
+            raise ValueError("values must be a population × dims matrix (pop >= 2)")
+        if quantize_bits is not None:
+            values = quantize_to_grid(values, quantize_bits)
+        self.values = values
+        self.population, self.dims = values.shape
+        self.omega = np.zeros(self.population)
+        self.omega[weight_holder] = 1.0
+        self.count = np.zeros(self.population, dtype=np.int64)
+
+    def exchange_pairs(self, left: np.ndarray, right: np.ndarray) -> None:
+        """One batch of disjoint pairwise exchanges (Alg. 2 l.1-7).
+
+        ``left``/``right`` must be disjoint index arrays (each node appears
+        at most once across both) — the vectorized analogue of a set of
+        simultaneous point-to-point exchanges.
+        """
+        merged = self.values[left]
+        merged += self.values[right]
+        merged *= 0.5
+        self.values[left] = merged
+        self.values[right] = merged
+        omega = (self.omega[left] + self.omega[right]) * 0.5
+        self.omega[left] = omega
+        self.omega[right] = omega
+        count = np.maximum(self.count[left], self.count[right]) + 1
+        self.count[left] = count
+        self.count[right] = count
+
+    def estimates(self, nodes: np.ndarray | None = None) -> np.ndarray:
+        """Per-node sum estimates ``σ/ω`` (rows of NaN where ω is still 0)."""
+        values = self.values if nodes is None else self.values[nodes]
+        omega = self.omega if nodes is None else self.omega[nodes]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(omega[:, None] > 0, values / omega[:, None], np.nan)
+
+    def scaled_state(self, node: int, fractional_bits: int = 0) -> tuple[list[int], int]:
+        """The node's object-plane integers ``(v·2^{count+f}, ω·2^count)``.
+
+        Exact big-int materialization (via ``Fraction``) of the delayed-
+        division integers the object engine would hold — the equivalence
+        proofs compare these for identity.  Raises if the normalized floats
+        have left the dyadic grid (i.e. float64 rounding occurred and the
+        two planes are no longer bit-comparable).
+        """
+        shift = 1 << (int(self.count[node]) + fractional_bits)
+        scaled = []
+        for value in self.values[node]:
+            exact = Fraction(value) * shift
+            if exact.denominator != 1:
+                raise ValueError(
+                    "normalized value is no longer dyadic at this scale — "
+                    "float64 mantissa exhausted, exact comparison impossible"
+                )
+            scaled.append(int(exact))
+        omega_exact = Fraction(self.omega[node]) * (1 << int(self.count[node]))
+        if omega_exact.denominator != 1:
+            raise ValueError("omega is no longer dyadic — mantissa exhausted")
+        return scaled, int(omega_exact)

@@ -108,6 +108,30 @@ class GossipEngine:
             exchanges += 1
         return exchanges
 
+    def run_pairing_cycle(
+        self,
+        pairs: "list[tuple[int, int]] | zip",
+        *protocols: GossipProtocol,
+    ) -> int:
+        """Execute an externally-supplied exchange schedule for one cycle.
+
+        The shadow-execution hook: the vectorized plane draws a pairing
+        (``VectorizedGossipEngine.run_cycle`` returns it) and this engine
+        replays the identical schedule, so the equivalence tests can assert
+        both planes land on the same decoded sums, ω-weights and exchange
+        counters.  Pairs are applied in order; node online flags are not
+        redrawn (the schedule already encodes who was online).
+        """
+        exchanges = 0
+        for initiator_id, contact_id in pairs:
+            initiator, contact = self.nodes[initiator_id], self.nodes[contact_id]
+            for protocol in protocols:
+                protocol.exchange(initiator, contact, self.rng)
+            initiator.exchanges += 1
+            contact.exchanges += 1
+            exchanges += 1
+        return exchanges
+
     def run_cycles(self, cycles: int, *protocols: GossipProtocol) -> int:
         """Run ``cycles`` full cycles; returns the total exchange count."""
         total = 0

@@ -26,10 +26,25 @@ import numpy as np
 __all__ = [
     "PushPullSumSimulator",
     "SumErrorTrace",
+    "random_pairing",
     "simulate_sum_error",
     "messages_to_reach_error",
     "dissemination_cycles",
 ]
+
+
+def random_pairing(
+    rng: np.random.Generator, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """A uniform random disjoint pairing of ``indices`` (one odd leftover idles).
+
+    This is the canonical vectorized realization of one gossip initiation
+    round; it is shared by the cleartext sum simulator below and by the
+    full-protocol plane in :mod:`repro.gossip.vectorized_protocol`.
+    """
+    shuffled = rng.permutation(indices)
+    half = len(shuffled) // 2
+    return shuffled[:half], shuffled[half : 2 * half]
 
 
 @dataclass
@@ -77,9 +92,7 @@ class PushPullSumSimulator:
         online = np.flatnonzero(self.rng.random(self.population) >= self.churn)
         if len(online) < 2:
             return
-        shuffled = self.rng.permutation(online)
-        half = len(shuffled) // 2
-        left, right = shuffled[:half], shuffled[half : 2 * half]
+        left, right = random_pairing(self.rng, online)
         sigma_avg = (self.sigma[left] + self.sigma[right]) / 2.0
         omega_avg = (self.omega[left] + self.omega[right]) / 2.0
         self.sigma[left] = sigma_avg
@@ -173,9 +186,7 @@ def dissemination_cycles(
         online = np.flatnonzero(rng.random(population) >= churn)
         if len(online) < 2:
             continue
-        shuffled = rng.permutation(online)
-        half = len(shuffled) // 2
-        left, right = shuffled[:half], shuffled[half : 2 * half]
+        left, right = random_pairing(rng, online)
         best = np.minimum(values[left], values[right])
         values[left] = best
         values[right] = best

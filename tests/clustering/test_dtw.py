@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.clustering import dba_mean, dtw_assign, dtw_distance, dtw_path
+from repro.clustering import (
+    dba_mean,
+    dtw_assign,
+    dtw_assign_reference,
+    dtw_distance,
+    dtw_pairwise,
+    dtw_path,
+)
+from repro.clustering.dtw import _cost_matrix, _cost_matrix_reference
 
 
 class TestDTWDistance:
@@ -74,3 +82,56 @@ class TestDTWClustering:
     def test_dba_empty_set(self):
         initial = np.ones(5)
         assert np.allclose(dba_mean(np.empty((0, 5)), initial), initial)
+
+
+class TestWavefrontEquivalence:
+    """The vectorized anti-diagonal DP must match the per-cell loop exactly."""
+
+    @pytest.mark.parametrize(
+        "n,m,window",
+        [(8, 8, None), (13, 9, None), (9, 13, 3), (16, 16, 2), (5, 5, 0), (24, 24, 5)],
+    )
+    def test_cost_matrix_matches_reference(self, n, m, window):
+        rng = np.random.default_rng(n * 100 + m)
+        a, b = rng.normal(size=n), rng.normal(size=m)
+        vectorized = _cost_matrix(a, b, window)
+        reference = _cost_matrix_reference(a, b, window)
+        assert np.array_equal(vectorized, reference)
+
+    @pytest.mark.parametrize("window", [None, 3])
+    def test_pairwise_matches_per_pair_distances(self, window):
+        rng = np.random.default_rng(7)
+        series = rng.normal(size=(25, 12))
+        centroids = rng.normal(size=(4, 12))
+        batched = dtw_pairwise(series, centroids, window)
+        for i, s in enumerate(series):
+            for j, c in enumerate(centroids):
+                assert batched[i, j] == pytest.approx(dtw_distance(s, c, window))
+
+    def test_pairwise_unequal_lengths(self):
+        rng = np.random.default_rng(8)
+        series = rng.normal(size=(10, 14))
+        centroids = rng.normal(size=(3, 9))
+        batched = dtw_pairwise(series, centroids)
+        for i, s in enumerate(series):
+            for j, c in enumerate(centroids):
+                assert batched[i, j] == pytest.approx(dtw_distance(s, c))
+
+    @pytest.mark.parametrize("window", [None, 2])
+    def test_assign_matches_reference(self, window):
+        rng = np.random.default_rng(9)
+        series = rng.normal(size=(30, 10))
+        centroids = rng.normal(size=(5, 10))
+        assert np.array_equal(
+            dtw_assign(series, centroids, window),
+            dtw_assign_reference(series, centroids, window),
+        )
+
+    def test_pairwise_chunking_invariant(self):
+        rng = np.random.default_rng(10)
+        series = rng.normal(size=(33, 8))
+        centroids = rng.normal(size=(3, 8))
+        assert np.array_equal(
+            dtw_pairwise(series, centroids, chunk_size=7),
+            dtw_pairwise(series, centroids, chunk_size=2048),
+        )

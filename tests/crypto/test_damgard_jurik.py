@@ -145,3 +145,51 @@ class TestKeyGeneration:
         )
         assert keypair128.d % lam == 0
         assert keypair128.d % pub.n_s == 1
+
+
+class TestCRTSplitDecryption:
+    """decrypt() is CRT-split; it must be bit-identical to the reference
+    single-modexp path, and measurably faster."""
+
+    def test_bit_identical_s1(self, keypair128, crypto_rng):
+        from repro.crypto.damgard_jurik import _decrypt_reference
+
+        pub = keypair128.public
+        values = [0, 1, 2**20 + 7, pub.n_s - 1, pub.n_s // 2 + 3]
+        for value in values:
+            c = encrypt(pub, value, rng=crypto_rng)
+            assert decrypt(keypair128, c) == _decrypt_reference(keypair128, c) == value
+
+    def test_bit_identical_s2(self, keypair_s2, crypto_rng):
+        from repro.crypto.damgard_jurik import _decrypt_reference
+
+        pub = keypair_s2.public
+        for value in (0, 2**300 + 12345, pub.n_s - 1):
+            c = encrypt(pub, value, rng=crypto_rng)
+            assert decrypt(keypair_s2, c) == _decrypt_reference(keypair_s2, c) == value
+
+    def test_bit_identical_after_homomorphic_ops(self, keypair128, crypto_rng):
+        from repro.crypto.damgard_jurik import _decrypt_reference
+
+        pub = keypair128.public
+        c = homomorphic_scalar_mul(
+            pub,
+            homomorphic_add(
+                pub,
+                encrypt(pub, 12345, rng=crypto_rng),
+                encrypt(pub, 67890, rng=crypto_rng),
+            ),
+            1 << 16,
+        )
+        assert decrypt(keypair128, c) == _decrypt_reference(keypair128, c)
+
+    def test_bit_identical_at_1024_bits(self, crypto_rng):
+        """The production key size; the timing claim itself lives in
+        ``benchmarks/bench_fig5_local_costs.py`` (wall-clock assertions do
+        not belong in a correctness suite)."""
+        from repro.crypto.damgard_jurik import _decrypt_reference
+
+        keypair = generate_keypair(1024, s=1, rng=random.Random(5))
+        for value in (0, 1, 2**512 + 99):
+            c = encrypt(keypair.public, value, rng=crypto_rng)
+            assert decrypt(keypair, c) == _decrypt_reference(keypair, c) == value

@@ -203,3 +203,20 @@ class TestPackedPlanning:
                 value_bits=200,
                 accumulation_bits=100,
             )  # slot wider than the plaintext
+
+
+class TestQuantizeToGrid:
+    """quantize_to_grid is the grid contract between the mock-homomorphic
+    plane and the real codec: it must equal encode→decode elementwise."""
+
+    def test_matches_codec_roundtrip(self, keypair128):
+        import numpy as np
+
+        from repro.crypto import FixedPointCodec, quantize_to_grid
+
+        codec = FixedPointCodec(keypair128.public, fractional_bits=24)
+        rng = np.random.default_rng(5)
+        values = rng.uniform(-50.0, 50.0, size=200)
+        gridded = quantize_to_grid(values, 24)
+        roundtripped = np.array([codec.decode(codec.encode(v)) for v in values])
+        assert np.array_equal(gridded, roundtripped)

@@ -1,0 +1,247 @@
+"""Shadow-execution equivalence: vectorized plane vs object engine.
+
+The struct-of-arrays plane must reproduce the object engine's full
+protocol semantics *exactly*.  The tests draw the pairing schedule from
+the vectorized engine (``run_cycle`` returns it), replay the identical
+schedule on the object engine via ``GossipEngine.run_pairing_cycle``, and
+assert identity of:
+
+* the EESum delayed-division integers (the mock-homomorphic ciphertexts),
+* the scaled ω-weights and the shared exchange counters,
+* the decoded sum estimates (bit-equal floats),
+* the dissemination identifiers,
+* the per-node exchange participation counts,
+
+under churn, at n ∈ {64, 256}.  Inputs sit on a coarse fixed-point grid
+and cycle counts stay small enough that every dyadic numerator fits a
+float64 mantissa — the regime where both planes are exactly comparable
+(``VectorizedEESum.scaled_state`` raises loudly if that ever stops being
+true).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto import quantize_to_grid
+from repro.gossip import (
+    EESum,
+    EpidemicSum,
+    GossipEngine,
+    MinIdDissemination,
+    MockHomomorphicOps,
+    VectorizedEESum,
+    VectorizedGossipEngine,
+    VectorizedMinId,
+    VectorizedShareCollection,
+)
+
+FRACTIONAL_BITS = 8
+CYCLES = 20
+
+
+def _shadow_pair(population: int, churn: float, seed: int, dims: int = 3):
+    """Run both planes on one shared schedule; return everything to compare."""
+    rng = np.random.default_rng(seed)
+    # Values on the 2^-8 grid, small magnitudes: numerators stay well under
+    # the 53-bit float64 mantissa for CYCLES <= ~25.
+    values = quantize_to_grid(
+        rng.uniform(-4.0, 4.0, size=(population, dims)), FRACTIONAL_BITS
+    )
+    ids = rng.integers(0, 1 << 62, size=population).astype(np.int64)
+    # ~1/4 of the nodes propose nothing (the noise-correction scenario where
+    # only counter-holding nodes propose).
+    no_proposal = rng.random(population) < 0.25
+    ids[no_proposal] = VectorizedMinId.NO_PROPOSAL
+
+    vec_engine = VectorizedGossipEngine(population, seed=seed + 1, churn=churn)
+    vec_eesum = VectorizedEESum(values, quantize_bits=FRACTIONAL_BITS)
+    vec_minid = VectorizedMinId(ids)
+
+    encoded = np.round(values * (1 << FRACTIONAL_BITS)).astype(object)
+    obj_engine = GossipEngine(population, seed=seed + 2)
+    obj_eesum = EESum(
+        None,
+        {i: [int(v) for v in encoded[i]] for i in range(population)},
+        ops=MockHomomorphicOps(),
+    )
+    obj_counter = EpidemicSum({i: np.array([1.0]) for i in range(population)})
+    obj_minid = MinIdDissemination(
+        {
+            i: (int(ids[i]), f"payload-{i}")
+            for i in range(population)
+            if ids[i] != VectorizedMinId.NO_PROPOSAL
+        }
+    )
+    obj_engine.setup(obj_eesum, obj_counter, obj_minid)
+
+    for _ in range(CYCLES):
+        left, right = vec_engine.run_cycle(vec_eesum, vec_minid)
+        obj_engine.run_pairing_cycle(
+            zip(left.tolist(), right.tolist()), obj_eesum, obj_counter, obj_minid
+        )
+
+    return vec_engine, vec_eesum, vec_minid, obj_engine, obj_eesum, obj_counter, obj_minid
+
+
+@pytest.mark.parametrize("population", [64, 256])
+@pytest.mark.parametrize("churn", [0.0, 0.25])
+def test_eesum_dissemination_churn_equivalence(population, churn):
+    (
+        vec_engine,
+        vec_eesum,
+        vec_minid,
+        obj_engine,
+        obj_eesum,
+        obj_counter,
+        obj_minid,
+    ) = _shadow_pair(population, churn, seed=population + int(churn * 100))
+
+    exchanged_someone = False
+    for node in obj_engine.nodes:
+        i = node.node_id
+        state = obj_eesum.state_of(node)
+
+        # Shared counters and exchange participation counts are identical.
+        assert state.count == int(vec_eesum.count[i])
+        assert node.exchanges == int(vec_engine.exchanges[i])
+
+        # The delayed-division integers themselves are identical: the
+        # vectorized plane re-materializes v·2^{count+f} exactly.
+        scaled_values, scaled_omega = vec_eesum.scaled_state(i, FRACTIONAL_BITS)
+        assert scaled_values == state.ciphertexts
+        assert scaled_omega == state.omega
+
+        # Decoded sum estimates are bit-equal floats where ω > 0.
+        if state.omega > 0:
+            exchanged_someone = True
+            decoded = np.array(
+                [
+                    _decode(c, state.count, FRACTIONAL_BITS) / (state.omega / 2.0**state.count)
+                    for c in state.ciphertexts
+                ]
+            )
+            estimate = vec_eesum.estimates(np.array([i]))[0]
+            assert np.array_equal(decoded, estimate)
+
+        # Dissemination: identical identifier beliefs (None ↔ NO_PROPOSAL).
+        belief = obj_minid.value_of(node)
+        if belief is None:
+            assert vec_minid.ids[i] == VectorizedMinId.NO_PROPOSAL
+        else:
+            assert belief[0] == int(vec_minid.ids[i])
+
+    assert exchanged_someone
+
+
+def _decode(ciphertext: int, count: int, fractional_bits: int) -> float:
+    """Mock-plane decode: descale the delayed divisions + fixed point."""
+    return ciphertext / 2.0**count / float(1 << fractional_bits)
+
+
+@pytest.mark.parametrize("population", [64, 256])
+def test_cleartext_counter_equivalence(population):
+    """The EpidemicSum counter and the EESum ω spread identically — the
+    vectorized plane's single-matrix trick (counter as an extra column)
+    matches the object plane's separate protocol."""
+    (
+        _vec_engine,
+        vec_eesum,
+        _vec_minid,
+        obj_engine,
+        _obj_eesum,
+        obj_counter,
+        _obj_minid,
+    ) = _shadow_pair(population, churn=0.1, seed=population)
+
+    for node in obj_engine.nodes:
+        clear = node.state["episum"]
+        assert clear["omega"] == vec_eesum.omega[node.node_id]
+
+
+class TestVectorizedMinId:
+    def test_converged_mirrors_object_semantics(self):
+        ids = np.array([5, 9, VectorizedMinId.NO_PROPOSAL, 7], dtype=np.int64)
+        protocol = VectorizedMinId(ids)
+        assert not protocol.converged()
+        engine = VectorizedGossipEngine(4, seed=12)
+        for _ in range(12):
+            engine.run_cycle(protocol)
+            if protocol.converged():
+                break
+        assert protocol.converged()
+        assert (protocol.ids == 5).all()
+
+    def test_all_silent_population_never_converges(self):
+        ids = np.full(4, VectorizedMinId.NO_PROPOSAL, dtype=np.int64)
+        protocol = VectorizedMinId(ids)
+        engine = VectorizedGossipEngine(4, seed=13)
+        engine.run_cycles(5, protocol)
+        assert not protocol.converged()
+
+
+class TestVectorizedEngine:
+    def test_pairing_is_disjoint(self):
+        engine = VectorizedGossipEngine(1001, seed=3, churn=0.2)
+        for _ in range(5):
+            left, right = engine.draw_pairing()
+            both = np.concatenate([left, right])
+            assert len(np.unique(both)) == len(both)
+            assert engine.online[both].all()
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            VectorizedGossipEngine(1)
+
+    def test_exchange_counting(self):
+        engine = VectorizedGossipEngine(100, seed=4)
+        total = engine.run_cycles(6)
+        assert total == 6 * 50
+        assert engine.exchanges.sum() == 2 * total
+
+    def test_full_churn_cycle_is_empty(self):
+        engine = VectorizedGossipEngine(50, seed=5, churn=0.999)
+        total = engine.run_cycles(3)
+        assert total <= 3  # occasionally two nodes survive a cycle
+
+
+class TestVectorizedShareCollection:
+    def test_matches_token_semantics_shape(self):
+        """Replacement + mutual application: counts grow by at most one per
+        cycle and stop exactly at the threshold."""
+        engine = VectorizedGossipEngine(500, seed=6)
+        protocol = VectorizedShareCollection(500, threshold=30)
+        previous = protocol.shares.copy()
+        for _ in range(50):
+            engine.run_cycle(protocol)
+            assert (protocol.shares <= 30).all()
+            assert (protocol.shares >= previous).all()
+            previous = protocol.shares.copy()
+        assert protocol.all_done()
+
+    def test_latency_matches_object_engine_order(self):
+        """Collection latency agrees with TokenDecryption within 2× at a
+        shared population/threshold (the plane's documented approximation
+        only drops duplicate share ids)."""
+        from repro.gossip import TokenDecryption
+
+        population, tau = 400, 40
+        obj_engine = GossipEngine(population, seed=7)
+        token = TokenDecryption(threshold_count=tau)
+        obj_engine.setup(token)
+        cycles_obj = 0
+        while token.fraction_done(obj_engine.nodes) < 1.0 and cycles_obj < 500:
+            obj_engine.run_cycle(token)
+            cycles_obj += 1
+        obj_messages = obj_engine.mean_exchanges_per_node
+
+        vec_engine = VectorizedGossipEngine(population, seed=7)
+        collection = VectorizedShareCollection(population, tau)
+        cycles_vec = 0
+        while not collection.all_done() and cycles_vec < 1000:
+            vec_engine.run_cycle(collection)
+            cycles_vec += 1
+        vec_messages = vec_engine.mean_exchanges_per_node
+
+        assert vec_messages == pytest.approx(obj_messages, rel=1.0)
