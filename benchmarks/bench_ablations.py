@@ -12,16 +12,15 @@
 from __future__ import annotations
 
 import random
+import time
 
 import numpy as np
 import pytest
 
-from conftest import record_json, record_report
-from repro.core import PerturbationOptions, perturbed_kmeans
+from conftest import record_json, record_report, record_runs
+from repro.api import Experiment, RunSpec, run_record
 from repro.crypto import FixedPointCodec, decrypt, encrypt, generate_keypair
-from repro.datasets import courbogen_like_centroids, generate_cer
 from repro.gossip import EESum, EpidemicSum, GossipEngine
-from repro.privacy import Greedy
 
 
 def test_ablation_eesum_vs_cleartext(benchmark):
@@ -63,24 +62,45 @@ def test_ablation_eesum_vs_cleartext(benchmark):
     assert max(diffs) < 1e-3
 
 
+def ablation_spec(mode: str = "per-aggregate",
+                  smoothing_fraction: float = 0.2) -> RunSpec:
+    """One CER ablation run; the sweep swaps the spec's options/params."""
+    return RunSpec.from_dict({
+        "name": f"ablation-{mode}-w{smoothing_fraction}",
+        "plane": "quality",
+        "seed": 10,
+        "strategy": "G",
+        "dataset": {"kind": "cer",
+                    "params": {"n_series": 15_000, "population_scale": 200,
+                               "seed": 9}},
+        "init": {"kind": "courbogen", "params": {"seed": 9}},
+        "params": {"k": 30, "max_iterations": 8, "epsilon": 0.69,
+                   "smoothing_fraction": smoothing_fraction, "theta": 0.0},
+        "options": {"sensitivity_mode": mode},
+    })
+
+
 @pytest.fixture(scope="module")
 def quality_workload():
-    data = generate_cer(n_series=15_000, population_scale=200, seed=9)
-    init = courbogen_like_centroids(30, np.random.default_rng(9))
-    return data, init
+    context = Experiment.from_spec(ablation_spec()).context
+    return context.dataset, context.initial_centroids
 
 
 def test_ablation_sensitivity_modes(benchmark, quality_workload):
-    data, init = quality_workload
+    data, _ = quality_workload
+    records: list[dict] = []
 
     def run(mode):
-        return perturbed_kmeans(
-            data, init, Greedy(0.69), max_iterations=8,
-            options=PerturbationOptions(sensitivity_mode=mode),
-            rng=np.random.default_rng(10),
-        )
+        spec = ablation_spec(mode=mode)
+        started = time.perf_counter()
+        result = Experiment.from_spec(spec).run()
+        records.append(run_record(
+            spec, result, timings={"wall_seconds": time.perf_counter() - started}
+        ))
+        return result
 
     benchmark.pedantic(lambda: run("per-aggregate"), rounds=1, iterations=1)
+    records.clear()  # drop the warm-up measurement
 
     rows = [f"{'mode':<16}{'best PRE':>12}{'final PRE':>12}{'final #cent':>12}"]
     results = {}
@@ -96,9 +116,10 @@ def test_ablation_sensitivity_modes(benchmark, quality_workload):
         "Ablation: (sum, count) sensitivity calibration",
         rows,
     )
-    record_json(
+    record_runs(
         "ablation_sensitivity",
-        {
+        records,
+        extra={
             "population": data.population,
             "modes": {
                 mode: {
@@ -119,16 +140,27 @@ def test_ablation_sensitivity_modes(benchmark, quality_workload):
 
 
 def test_ablation_smoothing_window(benchmark, quality_workload):
-    data, init = quality_workload
+    data, _ = quality_workload
+    records: list[dict] = []
+    # Window sizes via smoothing_fraction on the n = 24 CER series:
+    # round(f·24) even-rounded gives 0, 2, 4, 8.
+    fractions = {0: 0.0, 2: 2 / 24, 4: 4 / 24, 8: 8 / 24}
+    assert {
+        w: ablation_spec(smoothing_fraction=f).params.smoothing_window(24)
+        for w, f in fractions.items()
+    } == {0: 0, 2: 2, 4: 4, 8: 8}
 
     def run(window):
-        return perturbed_kmeans(
-            data, init, Greedy(0.69), max_iterations=8,
-            smoothing_window=window,
-            rng=np.random.default_rng(11),
-        )
+        spec = ablation_spec(smoothing_fraction=fractions[window]).replace(seed=11)
+        started = time.perf_counter()
+        result = Experiment.from_spec(spec).run()
+        records.append(run_record(
+            spec, result, timings={"wall_seconds": time.perf_counter() - started}
+        ))
+        return result
 
     benchmark.pedantic(lambda: run(4), rounds=1, iterations=1)
+    records.clear()  # drop the warm-up measurement
 
     rows = [f"{'window':<10}{'mean PRE (it 5-8)':>20}"]
     tails = {}
@@ -143,9 +175,10 @@ def test_ablation_smoothing_window(benchmark, quality_workload):
         "Ablation: SMA window sweep (late-iteration inertia)",
         rows,
     )
-    record_json(
+    record_runs(
         "ablation_smoothing",
-        {
+        records,
+        extra={
             "population": data.population,
             "late_inertia_by_window": {str(w): float(v) for w, v in tails.items()},
         },

@@ -1,37 +1,66 @@
 """Figure 2(e)/(f) — lowest pre-perturbation inertia (PRE) per strategy and
 the corresponding post-perturbation inertia without re-assignment (POST),
-aberrant centroids removed, for both workloads.
+aberrant centroids removed, for both workloads.  Runs go through the
+unified API (one ``RunSpec`` per strategy/workload pair).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from conftest import record_json, record_report
-from repro.clustering import lloyd_kmeans, sample_init
-from repro.core import perturbed_kmeans
-from repro.datasets import courbogen_like_centroids, generate_cer, generate_numed
-from repro.privacy import strategy_from_name
+from conftest import record_report, record_runs
+from repro.api import Experiment, RunSpec, run_record
+from repro.clustering import lloyd_kmeans
 
 ITERATIONS = 10
 LABELS = ["UF10", "UF5", "G", "GF"]
 
+DATASETS = {
+    "cer": {"kind": "cer",
+            "params": {"n_series": 30_000, "population_scale": 100, "seed": 1}},
+    "numed": {"kind": "numed",
+              "params": {"n_series": 24_000, "population_scale": 50, "seed": 2}},
+}
+INITS = {
+    "cer": {"kind": "courbogen", "params": {"seed": 1}},
+    "numed": {"kind": "sample", "params": {"seed": 2}},
+}
 
-def _pre_post_rows(data, init, tag):
+
+def spec_for(workload: str, label: str) -> RunSpec:
+    return RunSpec.from_dict({
+        "name": f"fig2ef-{workload}-{label}",
+        "plane": "quality",
+        "seed": 42,
+        "strategy": label,
+        "dataset": DATASETS[workload],
+        "init": INITS[workload],
+        "params": {"k": 50, "max_iterations": ITERATIONS, "epsilon": 0.69,
+                   "uf_iterations": 5, "theta": 0.0},
+    })
+
+
+def _pre_post_rows(workload, records):
+    context = Experiment.from_spec(spec_for(workload, "G")).context
+    data, init = context.dataset, context.initial_centroids
     baseline = lloyd_kmeans(data.values, init, max_iterations=ITERATIONS, threshold=0.0)
     rows = [f"{'strategy':<12}{'PRE':>10}{'POST':>10}"]
     rows.append(f"{'no-perturb':<12}{min(baseline.inertia):>10.1f}{min(baseline.inertia):>10.1f}")
     pre_values = {}
     for label in LABELS:
-        result = perturbed_kmeans(
-            data, init, strategy_from_name(label, 0.69, uf_iterations=5),
-            max_iterations=ITERATIONS, rng=np.random.default_rng(42),
-        )
+        spec = spec_for(workload, label)
+        started = time.perf_counter()
+        result = Experiment.from_spec(spec).run()
+        records.append(run_record(
+            spec, result, timings={"wall_seconds": time.perf_counter() - started}
+        ))
         best = result.best_iteration()
         rows.append(f"{label + '_SMA':<12}{best.pre_inertia:>10.1f}{best.post_inertia:>10.1f}")
         pre_values[label] = (best.pre_inertia, best.post_inertia)
-    return rows, min(baseline.inertia), pre_values
+    return rows, min(baseline.inertia), pre_values, data
 
 
 @pytest.mark.parametrize(
@@ -39,30 +68,26 @@ def _pre_post_rows(data, init, tag):
     [("cer", "Fig 2(e) CER-like"), ("numed", "Fig 2(f) NUMED-like")],
 )
 def test_fig2ef_pre_post(benchmark, name, figure):
-    if name == "cer":
-        data = generate_cer(n_series=30_000, population_scale=100, seed=1)
-        init = courbogen_like_centroids(50, np.random.default_rng(1))
-    else:
-        data = generate_numed(n_series=24_000, population_scale=50, seed=2)
-        init = sample_init(data.values, 50, np.random.default_rng(2))
-
+    records: list[dict] = []
     rows, result = [], {}
 
     def run():
         nonlocal rows, result
-        rows, baseline_best, result = _pre_post_rows(data, init, name)
-        return baseline_best
+        records.clear()
+        rows, baseline_best, result, data = _pre_post_rows(name, records)
+        return baseline_best, data
 
-    baseline_best = benchmark.pedantic(run, rounds=1, iterations=1)
+    (baseline_best, data) = benchmark.pedantic(run, rounds=1, iterations=1)
     record_report(
         f"fig2ef_{name}_pre_post",
         f"{figure}: lowest PRE inertia and corresponding POST inertia",
         rows,
     )
 
-    record_json(
+    record_runs(
         f"fig2ef_{name}_pre_post",
-        {
+        records,
+        extra={
             "workload": name,
             "population": data.population,
             "baseline_best_inertia": float(baseline_best),

@@ -4,19 +4,20 @@ Paper setting: 1.2M tumor-growth series × 20 weekly measures in [0, 50],
 k = 50, initial centroids sampled uniformly from the (synthetic) series.
 The paper plots only the SMA variants here because smoothing barely moves
 NUMED (equally-distributed clusters) — we regenerate both and *verify* that
-observation in the shape assertions.
+observation in the shape assertions.  Every run goes through the unified
+API (one ``RunSpec`` per variant, pinned dataset/init seeds).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from conftest import record_json, record_report
-from repro.clustering import dataset_inertia, lloyd_kmeans, sample_init
-from repro.core import PerturbationOptions, perturbed_kmeans
-from repro.datasets import generate_numed
-from repro.privacy import strategy_from_name
+from conftest import record_report, record_runs
+from repro.api import Experiment, RunSpec, run_record
+from repro.clustering import dataset_inertia, lloyd_kmeans
 
 N_SERIES = 24_000
 SCALE = 50
@@ -27,23 +28,37 @@ SEEDS = (0, 1, 2)
 STRATEGIES = [("UF10", True), ("UF5", True), ("G", True), ("GF", True)]
 
 
+def spec_for(label: str, smoothing: bool, seed: int) -> RunSpec:
+    return RunSpec.from_dict({
+        "name": f"fig2bd-numed-{label}{'-sma' if smoothing else ''}",
+        "plane": "quality",
+        "seed": 2000 + seed,
+        "strategy": label,
+        "dataset": {"kind": "numed",
+                    "params": {"n_series": N_SERIES, "population_scale": SCALE,
+                               "seed": 2}},
+        "init": {"kind": "sample", "params": {"seed": 2}},
+        "params": {"k": K, "max_iterations": ITERATIONS, "epsilon": 0.69,
+                   "uf_iterations": 5, "use_smoothing": smoothing, "theta": 0.0},
+    })
+
+
 @pytest.fixture(scope="module")
 def numed_workload():
-    data = generate_numed(n_series=N_SERIES, population_scale=SCALE, seed=2)
-    init = sample_init(data.values, K, np.random.default_rng(2))
-    return data, init
+    context = Experiment.from_spec(spec_for("G", True, 0)).context
+    return context.dataset, context.initial_centroids
 
 
-def _average_runs(data, init, label, smoothing):
+def _average_runs(label, smoothing, records):
     inertia = np.zeros(ITERATIONS)
     centroids = np.zeros(ITERATIONS)
     for seed in SEEDS:
-        result = perturbed_kmeans(
-            data, init, strategy_from_name(label, 0.69, uf_iterations=5),
-            max_iterations=ITERATIONS,
-            options=PerturbationOptions(smoothing=smoothing),
-            rng=np.random.default_rng(2000 + seed),
-        )
+        spec = spec_for(label, smoothing, seed)
+        started = time.perf_counter()
+        result = Experiment.from_spec(spec).run()
+        records.append(run_record(
+            spec, result, timings={"wall_seconds": time.perf_counter() - started}
+        ))
         pre = result.pre_inertia_curve
         cnt = result.n_centroids_curve
         inertia += np.array(pre + [pre[-1]] * (ITERATIONS - len(pre)))
@@ -54,11 +69,10 @@ def _average_runs(data, init, label, smoothing):
 def test_fig2b_fig2d_numed_quality(benchmark, numed_workload):
     data, init = numed_workload
 
+    one_iteration = spec_for("G", True, 0).to_dict()
+    one_iteration["params"]["max_iterations"] = 1
     benchmark.pedantic(
-        lambda: perturbed_kmeans(
-            data, init, strategy_from_name("G", 0.69), max_iterations=1,
-            rng=np.random.default_rng(0),
-        ),
+        lambda: Experiment.from_spec(RunSpec.from_dict(one_iteration)).run(),
         rounds=3,
         iterations=1,
     )
@@ -76,9 +90,10 @@ def test_fig2b_fig2d_numed_quality(benchmark, numed_workload):
         f"{'initial':<12}" + "".join(f"{K:>9d}" for _ in range(ITERATIONS)),
         f"{'no-perturb':<12}" + "".join(f"{v:>9d}" for v in baseline.n_centroids),
     ]
+    records: list[dict] = []
     curves = {}
     for label, smoothing in STRATEGIES:
-        inertia, centroids = _average_runs(data, init, label, smoothing)
+        inertia, centroids = _average_runs(label, smoothing, records)
         tag = f"{label}_SMA" if smoothing else label
         curves[tag] = {
             "pre_inertia": [float(v) for v in inertia],
@@ -98,9 +113,10 @@ def test_fig2b_fig2d_numed_quality(benchmark, numed_workload):
         rows_centroids,
     )
 
-    record_json(
+    record_runs(
         "fig2bd_numed_quality",
-        {
+        records,
+        extra={
             "population": data.population,
             "dataset_inertia": float(full),
             "baseline_inertia": [float(v) for v in baseline.inertia],
@@ -108,7 +124,8 @@ def test_fig2b_fig2d_numed_quality(benchmark, numed_workload):
         },
     )
     # Paper observation: smoothing barely changes NUMED (uniform clusters).
-    with_sma, _ = _average_runs(data, init, "G", True)
-    without, _ = _average_runs(data, init, "G", False)
+    scratch: list[dict] = []  # assertion re-runs; don't double-record them
+    with_sma, _ = _average_runs("G", True, scratch)
+    without, _ = _average_runs("G", False, scratch)
     early_gap = abs(with_sma[:5] - without[:5]).mean()
     assert early_gap < 0.25 * with_sma[:5].mean()

@@ -12,14 +12,14 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from conftest import record_json, record_report
-from repro.core import perturbed_kmeans
-from repro.datasets import courbogen_like_centroids, generate_cer
+from conftest import record_json, record_report, record_runs
+from repro.api import Experiment, RunSpec, run_record
 from repro.gossip import PushPullSumSimulator, VectorizedEESum, VectorizedGossipEngine
-from repro.privacy import Greedy
 
 ITERATIONS = 10
 CHURNS_QUALITY = (0.0, 0.1, 0.25, 0.5)
@@ -27,26 +27,41 @@ CHURNS_SUM = (0.1, 0.25, 0.5)
 POPULATIONS = (1_000, 10_000, 100_000, 1_000_000)
 
 
+def churn_spec(churn: float, max_iterations: int = ITERATIONS) -> RunSpec:
+    return RunSpec.from_dict({
+        "name": f"fig3a-churn-{churn}",
+        "plane": "quality",
+        "seed": 33,
+        "strategy": "G",
+        "churn": churn,
+        "dataset": {"kind": "cer",
+                    "params": {"n_series": 30_000, "population_scale": 100,
+                               "seed": 1}},
+        "init": {"kind": "courbogen", "params": {"seed": 1}},
+        "params": {"k": 50, "max_iterations": max_iterations, "epsilon": 0.69,
+                   "theta": 0.0},
+    })
+
+
 def test_fig3a_churn_quality(benchmark):
-    data = generate_cer(n_series=30_000, population_scale=100, seed=1)
-    init = courbogen_like_centroids(50, np.random.default_rng(1))
+    data = Experiment.from_spec(churn_spec(0.0)).context.dataset
 
     benchmark.pedantic(
-        lambda: perturbed_kmeans(
-            data, init, Greedy(0.69), max_iterations=2, churn=0.25,
-            rng=np.random.default_rng(0),
-        ),
+        lambda: Experiment.from_spec(churn_spec(0.25, max_iterations=2)).run(),
         rounds=1,
         iterations=1,
     )
 
     rows = [f"{'series':<14}" + "".join(f"{i:>9d}" for i in range(1, ITERATIONS + 1))]
+    records: list[dict] = []
     curves = {}
     for churn in CHURNS_QUALITY:
-        result = perturbed_kmeans(
-            data, init, Greedy(0.69), max_iterations=ITERATIONS,
-            churn=churn, rng=np.random.default_rng(33),
-        )
+        spec = churn_spec(churn)
+        started = time.perf_counter()
+        result = Experiment.from_spec(spec).run()
+        records.append(run_record(
+            spec, result, timings={"wall_seconds": time.perf_counter() - started}
+        ))
         pre = result.pre_inertia_curve
         pre = pre + [pre[-1]] * (ITERATIONS - len(pre))
         curves[churn] = pre
@@ -57,9 +72,10 @@ def test_fig3a_churn_quality(benchmark):
         "Fig 3(a) CER-like: pre-perturbation inertia under per-iteration churn",
         rows,
     )
-    record_json(
+    record_runs(
         "fig3a_churn_quality",
-        {
+        records,
+        extra={
             "population": data.population,
             "curves": {str(c): [float(v) for v in pre] for c, pre in curves.items()},
         },

@@ -4,27 +4,41 @@ Clear k-means vs the perturbed GREEDY execution (no smoothing: 2-D points
 have no temporal adjacency) on the duplicated A3-like dataset; the paper
 shows the 6th-iteration centroids landing within or between true clusters.
 We quantify that with the distance from each surviving perturbed centroid
-to the nearest true cluster center.
+to the nearest true cluster center.  The private run is a ``RunSpec`` on
+the ``points2d`` dataset key, executed through ``repro.api``.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from conftest import record_json, record_report
-from repro.clustering import lloyd_kmeans, sample_init
-from repro.core import PerturbationOptions, perturbed_kmeans
-from repro.datasets import generate_a3_like, generate_points2d
-from repro.privacy import Greedy
+from conftest import record_report, record_runs
+from repro.api import Experiment, RunSpec, run_record
+from repro.clustering import lloyd_kmeans
+from repro.datasets import generate_a3_like
 
 ITERATION_OF_INTEREST = 6  # the paper's pick
 
+SPEC = RunSpec.from_dict({
+    "name": "fig6-points2d",
+    "plane": "quality",
+    "seed": 4,
+    "strategy": "G",
+    "dataset": {"kind": "points2d", "params": {"seed": 4}},
+    "init": {"kind": "sample", "params": {"seed": 4}},
+    "params": {"k": 50, "max_iterations": ITERATION_OF_INTEREST, "epsilon": 0.69,
+               "use_smoothing": False, "theta": 0.0},
+})
+
 
 def test_fig6_points2d(benchmark):
-    data = generate_points2d(seed=4)  # 7.5K × 100 = 750K points
+    experiment = Experiment.from_spec(SPEC)
+    data = experiment.context.dataset  # 7.5K × 100 = 750K points
+    init = experiment.context.initial_centroids
     _, true_centers = generate_a3_like(seed=4)
-    init = sample_init(data.values, 50, np.random.default_rng(4))
 
     benchmark.pedantic(
         lambda: lloyd_kmeans(data.values, init, max_iterations=2, threshold=0.0),
@@ -32,12 +46,12 @@ def test_fig6_points2d(benchmark):
         iterations=1,
     )
 
-    clear = lloyd_kmeans(data.values, init, max_iterations=ITERATION_OF_INTEREST, threshold=0.0)
-    perturbed = perturbed_kmeans(
-        data, init, Greedy(0.69), max_iterations=ITERATION_OF_INTEREST,
-        options=PerturbationOptions(smoothing=False),
-        rng=np.random.default_rng(4),
+    clear = lloyd_kmeans(
+        data.values, init, max_iterations=ITERATION_OF_INTEREST, threshold=0.0
     )
+    started = time.perf_counter()
+    perturbed = experiment.run()
+    elapsed = time.perf_counter() - started
 
     def nearest_center_distances(centroids):
         d = np.linalg.norm(
@@ -67,9 +81,10 @@ def test_fig6_points2d(benchmark):
         rows,
     )
 
-    record_json(
+    record_runs(
         "fig6_points2d",
-        {
+        [run_record(SPEC, perturbed, timings={"wall_seconds": elapsed})],
+        extra={
             "population": data.population,
             "iteration": ITERATION_OF_INTEREST,
             "clear_median_distance": float(np.median(clear_d)),

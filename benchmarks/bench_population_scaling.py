@@ -25,8 +25,8 @@ import time
 import numpy as np
 import pytest
 
-from conftest import record_json, record_report
-from repro.core import ChiaroscuroParams, ChiaroscuroRun
+from conftest import record_report, record_runs
+from repro.api import DATASETS, Experiment, RunSpec, register_dataset, run_record
 from repro.datasets import TimeSeriesSet
 from repro.gossip import (
     EESum,
@@ -38,7 +38,6 @@ from repro.gossip import (
     VectorizedGossipEngine,
     VectorizedMinId,
 )
-from repro.privacy import Greedy
 
 K = 10
 SERIES_LENGTH = 20
@@ -86,22 +85,47 @@ def _vectorized_seconds_per_exchange(population: int, cycles: int = 10) -> float
     return elapsed / max(exchanges, 1)
 
 
+if "population-sim" not in DATASETS:  # idempotent under pytest re-imports
+
+    @register_dataset("population-sim")
+    def _population_sim(seed: int, *, population: int,
+                        series_length: int = SERIES_LENGTH) -> TimeSeriesSet:
+        """Uniform-random series at bench scale — a one-decorator scenario
+        registration, exactly the extension path user workloads take."""
+        rng = np.random.default_rng(seed)
+        return TimeSeriesSet(
+            rng.uniform(0.0, 40.0, size=(population, series_length)),
+            0.0, 40.0, name=f"population-sim-{population}",
+        )
+
+
+def _full_run_spec(population: int, max_iterations: int, exchanges: int) -> RunSpec:
+    return RunSpec.from_dict({
+        "name": f"population-scaling-{population}",
+        "plane": "vectorized",
+        "seed": 0,
+        "strategy": "G",
+        "dataset": {"kind": "population-sim",
+                    "params": {"population": population, "seed": 3}},
+        "init": {"kind": "uniform", "params": {"seed": 3}},
+        "params": {"k": K, "max_iterations": max_iterations,
+                   "exchanges": exchanges, "epsilon": 0.69},
+    })
+
+
 def _full_run(population: int, max_iterations: int, exchanges: int) -> dict:
-    """A complete vectorized-plane Chiaroscuro run; returns its telemetry."""
-    rng = np.random.default_rng(3)
-    data = TimeSeriesSet(
-        rng.uniform(0.0, 40.0, size=(population, SERIES_LENGTH)), 0.0, 40.0
-    )
-    init = rng.uniform(0.0, 40.0, size=(K, SERIES_LENGTH))
-    params = ChiaroscuroParams(
-        k=K,
-        max_iterations=max_iterations,
-        exchanges=exchanges,
-        protocol_plane="vectorized",
-    )
-    run = ChiaroscuroRun(data, Greedy(0.69), params, init, seed=0)
+    """A complete vectorized-plane Chiaroscuro run via the API facade."""
+    from repro.api import IterationCompleted, RunCompleted
+
+    spec = _full_run_spec(population, max_iterations, exchanges)
+    exchanges_per_node = []
+    result = None
     start = time.perf_counter()
-    result, trace = run.run()
+    for event in Experiment.from_spec(spec).run_iter():
+        if isinstance(event, IterationCompleted):
+            exchanges_per_node.append(float(event.exchanges_per_node))
+        elif isinstance(event, RunCompleted):
+            result = event.result
     elapsed = time.perf_counter() - start
     return {
         "population": population,
@@ -113,7 +137,10 @@ def _full_run(population: int, max_iterations: int, exchanges: int) -> dict:
         "seconds_per_iteration": float(elapsed / max(result.iterations, 1)),
         "pre_inertia": [float(v) for v in result.pre_inertia_curve],
         "n_centroids": [int(v) for v in result.n_centroids_curve],
-        "mean_exchanges_per_node": [float(v) for v in trace.exchanges_per_node],
+        "mean_exchanges_per_node": exchanges_per_node,
+        "run_record": run_record(
+            spec, result, timings={"wall_seconds": float(elapsed)}
+        ),
     }
 
 
@@ -156,9 +183,10 @@ def test_population_scaling_speedup(benchmark):
         f"Population scaling: full protocol, {DIMS}-dim Diptych payload",
         rows,
     )
-    record_json(
+    record_runs(
         "population_scaling",
-        {
+        [full.pop("run_record")],
+        extra={
             "dims": DIMS,
             "object_seconds_per_exchange": {
                 str(p): float(c) for p, c in object_cost.items()
@@ -185,9 +213,10 @@ def test_population_smoke(benchmark):
     elapsed = time.perf_counter() - start
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
-    record_json(
+    record_runs(
         "population_smoke",
-        {
+        [full.pop("run_record")],
+        extra={
             "population": 100_000,
             "vectorized_seconds_per_exchange": float(per_exchange),
             "full_run": full,

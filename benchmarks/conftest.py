@@ -53,6 +53,7 @@ def record_json(name: str, data: dict) -> None:
     """
     _OUT_DIR.mkdir(exist_ok=True)
     envelope = {
+        "schema": "chiaroscuro-bench/v1",
         "bench": name,
         "git_rev": _git_rev(),
         "python": sys.version.split()[0],
@@ -60,6 +61,21 @@ def record_json(name: str, data: dict) -> None:
         "data": data,
     }
     (_OUT_DIR / f"BENCH_{name}.json").write_text(json.dumps(envelope, indent=2) + "\n")
+
+
+def record_runs(name: str, runs: list[dict], extra: dict | None = None) -> None:
+    """Write ``out/BENCH_<name>.json`` in the shared run-record schema.
+
+    ``runs`` is a list of :func:`repro.api.run_record` dicts — one per
+    experiment the bench executed (spec + per-iteration history +
+    timings), so every BENCH file that runs experiments exposes the same
+    ``chiaroscuro-run/v1`` shape and can be diffed across PRs with one
+    tool.  ``extra`` carries bench-specific aggregates alongside.
+    """
+    payload = {"schema": "chiaroscuro-run/v1", "runs": runs}
+    if extra:
+        payload.update(extra)
+    record_json(name, payload)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

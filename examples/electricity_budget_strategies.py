@@ -3,38 +3,52 @@
 The paper's Sec. 5.1 insight: k-means gains most in its first iterations,
 so the (ε, δ) budget should be concentrated early.  This example sweeps
 GREEDY, GREEDY_FLOOR and UNIFORM_FAST (the Fig. 2(a) experiment, scaled to
-a laptop) and prints which strategy wins at which iteration.
+a laptop) and prints which strategy wins at which iteration.  Each variant
+is the *same* base ``RunSpec`` with the strategy and smoothing fields
+swapped — the declarative form makes the sweep a loop over dicts.
 
     python examples/electricity_budget_strategies.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.api import Experiment, RunSpec
 from repro.clustering import lloyd_kmeans
-from repro.core import PerturbationOptions, perturbed_kmeans
-from repro.datasets import courbogen_like_centroids, generate_cer
-from repro.privacy import strategy_from_name
 
 ITERATIONS = 10
 EPSILON = 0.69  # ln 2, the paper's "common value"
 
+BASE = {
+    "name": "budget-strategies",
+    "plane": "quality",
+    "seed": 4,
+    "dataset": {"kind": "cer",
+                # pinned dataset/init seeds: every variant clusters the
+                # same workload from the same starting centroids
+                "params": {"n_series": 10_000, "population_scale": 100,
+                           "seed": 3}},
+    "init": {"kind": "courbogen", "params": {"seed": 3}},
+}
+
+
+def spec_for(label: str, smoothing: bool) -> RunSpec:
+    return RunSpec.from_dict({
+        **BASE,
+        "strategy": label,
+        "params": {"k": 30, "max_iterations": ITERATIONS, "epsilon": EPSILON,
+                   "floor_size": 4, "use_smoothing": smoothing, "theta": 0.0},
+    })
+
 
 def main() -> None:
-    data = generate_cer(n_series=10_000, population_scale=100, seed=3)
-    init = courbogen_like_centroids(30, np.random.default_rng(3))
+    context = Experiment.from_spec(spec_for("G", True)).context
+    data, init = context.dataset, context.initial_centroids
     baseline = lloyd_kmeans(data.values, init, max_iterations=ITERATIONS, threshold=0.0)
 
     curves = {"no-perturb": baseline.inertia}
     for label in ("G", "GF", "UF5", "UF10"):
         for smoothing in (True, False):
-            strategy = strategy_from_name(label, EPSILON, floor_size=4)
-            result = perturbed_kmeans(
-                data, init, strategy, max_iterations=ITERATIONS,
-                options=PerturbationOptions(smoothing=smoothing),
-                rng=np.random.default_rng(4),
-            )
+            result = Experiment.from_spec(spec_for(label, smoothing)).run()
             curve = result.pre_inertia_curve
             curves[result.label] = curve + [curve[-1]] * (ITERATIONS - len(curve))
 

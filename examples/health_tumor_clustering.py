@@ -4,6 +4,7 @@ NUMED-like workload (the paper's second dataset): 20-week tumor-size
 series from the Claret et al. growth-model family.  Clustering reveals the
 typical response profiles (responders, stable disease, progression,
 relapse) without any patient's series leaving their device unprotected.
+The experiment is a declarative ``RunSpec`` run through ``repro.api``.
 
 Also demonstrates the DTW extension: comparing Euclidean and elastic
 assignments on the recovered centroids.
@@ -15,10 +16,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clustering import dtw_assign, lloyd_kmeans, sample_init
-from repro.core import perturbed_kmeans
-from repro.datasets import generate_numed
-from repro.privacy import GreedyFloor
+from repro.api import Experiment, RunSpec
+from repro.clustering import dtw_assign, lloyd_kmeans
+
+SPEC = RunSpec.from_dict({
+    "name": "health-tumor",
+    "plane": "quality",
+    "seed": 5,
+    "strategy": "GF",
+    "dataset": {"kind": "numed",
+                "params": {"n_series": 8_000, "population_scale": 50}},
+    "init": {"kind": "sample"},
+    "params": {"k": 8, "max_iterations": 8, "epsilon": 0.69,
+               "floor_size": 4, "theta": 0.0},
+})
 
 
 def sparkline(series: np.ndarray, lo: float = 0.0, hi: float = 50.0) -> str:
@@ -29,15 +40,13 @@ def sparkline(series: np.ndarray, lo: float = 0.0, hi: float = 50.0) -> str:
 
 
 def main() -> None:
-    data = generate_numed(n_series=8_000, population_scale=50, seed=5)
+    experiment = Experiment.from_spec(SPEC)
+    data = experiment.context.dataset
+    init = experiment.context.initial_centroids
     print(f"dataset: {data.t} patients × {data.n} weekly tumor sizes, "
           f"effective population {data.population:,}")
 
-    init = sample_init(data.values, 8, np.random.default_rng(5))
-    private = perturbed_kmeans(
-        data, init, strategy=GreedyFloor(0.69, floor_size=4), max_iterations=8,
-        rng=np.random.default_rng(6),
-    )
+    private = experiment.run()
     baseline = lloyd_kmeans(data.values, init, max_iterations=8)
 
     best = private.best_iteration()

@@ -3,7 +3,8 @@
 Regenerates the paper's Figure 6 as an ASCII scatter: the duplicated
 A3-like dataset, the centroids of a clear k-means run and of a Chiaroscuro
 (GREEDY, no smoothing — 2-D points have no temporal adjacency) run at the
-same iteration.
+same iteration.  The private run is a ``RunSpec`` on the ``points2d``
+dataset key.
 
     python examples/points2d_illustration.py
 """
@@ -12,12 +13,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clustering import lloyd_kmeans, sample_init
-from repro.core import PerturbationOptions, perturbed_kmeans
-from repro.datasets import generate_a3_like, generate_points2d
-from repro.privacy import Greedy
+from repro.api import Experiment, RunSpec
+from repro.clustering import lloyd_kmeans
+from repro.datasets import generate_a3_like
 
 GRID_W, GRID_H = 72, 28
+
+SPEC = RunSpec.from_dict({
+    "name": "points2d-fig6",
+    "plane": "quality",
+    "seed": 4,
+    "strategy": "G",
+    "dataset": {"kind": "points2d", "params": {}},
+    "init": {"kind": "sample"},
+    "params": {"k": 50, "max_iterations": 6, "epsilon": 0.69,
+               "use_smoothing": False, "theta": 0.0},
+})
 
 
 def ascii_scatter(points, clear_c, perturbed_c):
@@ -43,17 +54,14 @@ def ascii_scatter(points, clear_c, perturbed_c):
 
 
 def main() -> None:
-    data = generate_points2d(seed=4)
+    experiment = Experiment.from_spec(SPEC)
+    data = experiment.context.dataset
+    init = experiment.context.initial_centroids
     _, centers = generate_a3_like(seed=4)
-    init = sample_init(data.values, 50, np.random.default_rng(4))
     print(f"{data.t:,} points in 50 clusters; k = 50, iteration of interest: 6")
 
     clear = lloyd_kmeans(data.values, init, max_iterations=6, threshold=0.0)
-    private = perturbed_kmeans(
-        data, init, Greedy(0.69), max_iterations=6,
-        options=PerturbationOptions(smoothing=False),
-        rng=np.random.default_rng(4),
-    )
+    private = experiment.run()
 
     clear_c = clear.centroids[-1]
     pert_c = private.history[-1].centroids

@@ -1,39 +1,45 @@
 """Quickstart: privately cluster synthetic electricity time-series.
 
 Runs the paper's quality plane — perturbed k-means with the GREEDY budget
-strategy and SMA smoothing — on a CER-like workload, and compares it with
-the non-private Lloyd baseline.
+strategy and SMA smoothing — on a CER-like workload through the unified
+``repro.api`` surface, and compares it with the non-private Lloyd baseline.
+The whole experiment is one declarative ``RunSpec``; swap ``"plane"`` for
+``"vectorized"`` to run the same spec through the full gossip protocol.
 
     python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.api import Experiment, RunSpec
 from repro.clustering import dataset_inertia, lloyd_kmeans
-from repro.core import perturbed_kmeans
-from repro.datasets import courbogen_like_centroids, generate_cer
-from repro.privacy import Greedy
+
+SPEC = RunSpec.from_dict({
+    "name": "quickstart",
+    "plane": "quality",
+    "seed": 0,
+    "strategy": "G",
+    # 10K distinct daily load curves, each standing for 100 households
+    # (1M effective individuals in the differential-privacy arithmetic).
+    "dataset": {"kind": "cer",
+                "params": {"n_series": 10_000, "population_scale": 100}},
+    # Initial centroids from the CourboGen-like template generator —
+    # plausible profiles, never raw data (the paper's privacy constraint).
+    "init": {"kind": "courbogen"},
+    "params": {"k": 20, "max_iterations": 8, "epsilon": 0.69, "theta": 0.0},
+})
 
 
 def main() -> None:
-    # 10K distinct daily load curves, each standing for 100 households
-    # (1M effective individuals in the differential-privacy arithmetic).
-    data = generate_cer(n_series=10_000, population_scale=100, seed=0)
+    experiment = Experiment.from_spec(SPEC)
+    data = experiment.context.dataset
+    init = experiment.context.initial_centroids
     print(f"dataset: {data.t} series × {data.n} hourly measures, "
           f"effective population {data.population:,}")
     print(f"DP sensitivity of the daily sum: {data.sum_sensitivity:.0f}")
 
-    # Initial centroids from the CourboGen-like template generator —
-    # plausible profiles, never raw data (the paper's privacy constraint).
-    init = courbogen_like_centroids(20, np.random.default_rng(0))
-
     baseline = lloyd_kmeans(data.values, init, max_iterations=8)
-    private = perturbed_kmeans(
-        data, init, strategy=Greedy(epsilon=0.69), max_iterations=8,
-        rng=np.random.default_rng(1),
-    )
+    private = experiment.run()
 
     print(f"\nfull dataset inertia (upper bound): {dataset_inertia(data.values):.1f}")
     print(f"{'iter':>4} {'no-perturbation':>16} {'Chiaroscuro G_SMA':>18} {'#centroids':>11}")

@@ -3,7 +3,11 @@
 This example runs the *real* protocol — threshold Damgård–Jurik keys, the
 EESum encrypted epidemic sum (Algorithm 2), distributed divisible-Laplace
 noise generation, min-identifier correction, and epidemic threshold
-decryption (Algorithm 3) — over 24 simulated devices holding tiny series.
+decryption (Algorithm 3) — over 24 simulated devices holding tiny series,
+submitted through the unified API: an ``object``-plane ``RunSpec`` whose
+dataset and initial centroids are carried *inline* in the spec (the
+``timeseries`` and ``matrix`` registry kinds), observed as a stream of
+typed run events.
 
 It then shows the privacy boundary concretely: what one honest-but-curious
 device actually sees on the wire.
@@ -15,50 +19,65 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import ChiaroscuroParams, ChiaroscuroRun
+from repro.api import Experiment, IterationCompleted, RunSpec
 from repro.crypto import generate_threshold_keypair
-from repro.datasets import TimeSeriesSet
-from repro.privacy import CollusionAnalysis, UniformFast
+from repro.privacy import CollusionAnalysis
 
 
-def main() -> None:
+def build_spec() -> RunSpec:
     rng = np.random.default_rng(5)
     base = np.array(
         [[5, 5, 5, 40, 40, 40], [40, 40, 40, 5, 5, 5], [20, 20, 20, 20, 20, 20]],
         dtype=float,
     )
     values = np.clip(np.repeat(base, 8, axis=0) + rng.normal(0, 1, (24, 6)), 0, 60)
-    dataset = TimeSeriesSet(values, dmin=0.0, dmax=60.0, name="demo")
-    init = np.array(
-        [[10.0, 10, 10, 30, 30, 30], [30, 30, 30, 10, 10, 10], [22, 18, 22, 18, 22, 18]]
-    )
-
-    print("dealing threshold keys: 24 shares, any 3 decrypt …")
-    keypair = generate_threshold_keypair(256, n_shares=24, threshold=3, s=2)
-
+    init = [
+        [10.0, 10, 10, 30, 30, 30], [30, 30, 30, 10, 10, 10], [22, 18, 22, 18, 22, 18]
+    ]
     # ε = 2000 keeps the demo's 24-device clusters recognizable; with the
     # paper's ε = 0.69 the noise is calibrated for *millions* of devices
     # and rightly obliterates clusters of eight (see the benchmarks for
     # paper-scale populations).
-    params = ChiaroscuroParams(
-        k=3, max_iterations=2, exchanges=20, tau_fraction=0.13,
-        epsilon=2000.0, expansion_s=2, use_smoothing=False, theta=1e-3,
-    )
-    run = ChiaroscuroRun(
-        dataset, UniformFast(2000.0, 2), params, init,
-        key_bits=256, seed=3, keypair=keypair,
-    )
-    print("running Algorithm 1 over the gossip engine (real crypto) …")
-    result, trace = run.run()
+    return RunSpec.from_dict({
+        "name": "secure-gossip-demo",
+        "plane": "object",
+        "seed": 3,
+        "strategy": "UF2",
+        "dataset": {"kind": "timeseries",
+                    "params": {"values": values.tolist(), "dmin": 0.0,
+                               "dmax": 60.0, "name": "demo"}},
+        "init": {"kind": "matrix", "params": {"values": init}},
+        "params": {"k": 3, "max_iterations": 2, "exchanges": 20,
+                   "tau_fraction": 0.13, "epsilon": 2000.0, "key_bits": 256,
+                   "expansion_s": 2, "use_smoothing": False, "theta": 1e-3},
+    })
 
+
+def main() -> None:
+    spec = build_spec()
+    print("dealing threshold keys: 24 shares, any 3 decrypt …")
+    keypair = generate_threshold_keypair(256, n_shares=24, threshold=3, s=2)
+
+    experiment = Experiment.from_spec(spec, keypair=keypair)
+    print("running Algorithm 1 over the gossip engine (real crypto) …")
+    agreement, exchanges, result = [], [], None
+    for event in experiment.run_iter():
+        if isinstance(event, IterationCompleted):
+            agreement.append(event.agreement)
+            exchanges.append(event.exchanges_per_node)
+        elif hasattr(event, "result"):
+            result = event.result
+
+    data = experiment.context.dataset
+    values = data.values
     true_means = np.array(
         [values[0:8].mean(axis=0), values[8:16].mean(axis=0), values[16:24].mean(axis=0)]
     )
     print(f"\niterations: {result.iterations}, converged: {result.converged}")
     print("per-iteration cross-device agreement (max relative spread):",
-          [f"{a:.1e}" for a in trace.agreement])
+          [f"{a:.1e}" for a in agreement])
     print("exchanges per node per iteration:",
-          [f"{e:.0f}" for e in trace.exchanges_per_node])
+          [f"{e:.0f}" for e in exchanges])
     print("\nfinal (noisy) centroids vs true cluster means:")
     for centroid in result.centroids:
         nearest = true_means[np.linalg.norm(true_means - centroid, axis=1).argmin()]
@@ -66,6 +85,9 @@ def main() -> None:
         print("  true", np.round(nearest, 1))
 
     # What the wire carries: ciphertexts and data-independent envelopes.
+    # The plane exposes its engine (the ChiaroscuroRun) for diagnostics.
+    run = experiment.context.runtime
+    init = experiment.context.initial_centroids
     sample = run.participants[0].encrypted_means_vector(init, run.crypto_rng)
     print(f"\none device exports {len(sample)} ciphertexts per iteration "
           f"(k·(n+1) = 3·7), each ≈ {keypair.public.ciphertext_bytes} bytes; "

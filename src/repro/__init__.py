@@ -4,6 +4,11 @@ Masseglia, Pacitti — SIGMOD 2015).
 
 Subpackages
 -----------
+``repro.api``
+    The unified experiment API: declarative ``RunSpec``, string-keyed
+    registries for datasets/initializers/strategies/planes, the
+    ``Experiment`` facade with streaming run events, and
+    checkpoint/resume.  The canonical way to define and run experiments.
 ``repro.core``
     The paper's contribution: the Diptych data structure, the full
     gossip-distributed execution sequence (Algorithms 1-3) with real
@@ -30,18 +35,20 @@ Subpackages
 
 Quickstart
 ----------
->>> import numpy as np
->>> from repro.datasets import generate_cer, courbogen_like_centroids
->>> from repro.privacy import Greedy
->>> from repro.core import perturbed_kmeans
->>> data = generate_cer(n_series=2000, population_scale=100, seed=1)
->>> init = courbogen_like_centroids(10, np.random.default_rng(1))
->>> result = perturbed_kmeans(data, init, Greedy(0.69), max_iterations=5)
+>>> from repro.api import Experiment, RunSpec
+>>> spec = RunSpec.from_dict({
+...     "seed": 1, "strategy": "G",
+...     "dataset": {"kind": "cer", "params": {"n_series": 2000}},
+...     "init": {"kind": "courbogen"},
+...     "params": {"k": 10, "max_iterations": 5, "epsilon": 0.69},
+... })
+>>> result = Experiment.from_spec(spec).run()
 >>> len(result.history) > 0
 True
 """
 
-from . import analysis, clustering, core, crypto, datasets, gossip, privacy
+from . import analysis, api, clustering, core, crypto, datasets, gossip, privacy
+from .api import Experiment, RunSpec
 from .core import (
     ChiaroscuroParams,
     ChiaroscuroRun,
@@ -51,17 +58,20 @@ from .core import (
 )
 from .privacy import Greedy, GreedyFloor, UniformFast
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ChiaroscuroParams",
     "ChiaroscuroRun",
     "ClusteringResult",
     "Diptych",
+    "Experiment",
     "Greedy",
     "GreedyFloor",
+    "RunSpec",
     "UniformFast",
     "analysis",
+    "api",
     "clustering",
     "core",
     "crypto",

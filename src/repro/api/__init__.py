@@ -1,0 +1,93 @@
+"""repro.api — the unified experiment API (the repo's one front door).
+
+Define an experiment declaratively, run it on any execution plane,
+observe it as a stream of typed events, and checkpoint/resume it:
+
+>>> from repro.api import Experiment, RunSpec
+>>> spec = RunSpec.from_dict({
+...     "plane": "quality",
+...     "seed": 1,
+...     "strategy": "G",
+...     "dataset": {"kind": "cer", "params": {"n_series": 2000}},
+...     "init": {"kind": "courbogen"},
+...     "params": {"k": 10, "max_iterations": 5, "epsilon": 0.69},
+... })
+>>> result = Experiment.from_spec(spec).run()
+
+Components:
+
+* :class:`RunSpec` — frozen, JSON-round-trippable experiment description
+  (dataset block, init block, ``ChiaroscuroParams``, strategy, seed,
+  plane);
+* registries + ``@register_*`` decorators — datasets (``cer``, ``numed``,
+  ``points2d``, ``timeseries``), initializers, budget strategies and
+  execution planes (``quality``, ``object``, ``vectorized``); new
+  scenarios are one registration away;
+* :class:`Experiment` — the facade: ``run()`` returns a
+  ``ClusteringResult``; ``run_iter()`` streams
+  :class:`~repro.api.events.RunEvent` objects for progress reporting and
+  early stopping;
+* :class:`Checkpoint` / :class:`CheckpointStore` — per-iteration JSON
+  checkpoints; a killed quality/vectorized run resumes bit-identically.
+"""
+
+from .checkpoint import Checkpoint, CheckpointStore
+from .events import (
+    CheckpointSaved,
+    IterationCompleted,
+    RunCompleted,
+    RunEvent,
+    RunStarted,
+)
+from .experiment import (
+    RESULT_SCHEMA,
+    ExecutionPlane,
+    Experiment,
+    PlaneStep,
+    RunContext,
+    run_record,
+)
+from .registry import (
+    DATASETS,
+    INITIALIZERS,
+    PLANES,
+    STRATEGIES,
+    Registry,
+    register_dataset,
+    register_initializer,
+    register_plane,
+    register_strategy,
+    resolve_strategy,
+)
+from .spec import DatasetSpec, InitSpec, RunSpec
+
+from . import builtins as _builtins  # noqa: F401  (registers the built-in keys)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointSaved",
+    "CheckpointStore",
+    "DATASETS",
+    "DatasetSpec",
+    "ExecutionPlane",
+    "Experiment",
+    "INITIALIZERS",
+    "InitSpec",
+    "IterationCompleted",
+    "PLANES",
+    "PlaneStep",
+    "RESULT_SCHEMA",
+    "Registry",
+    "RunCompleted",
+    "RunContext",
+    "RunEvent",
+    "RunSpec",
+    "RunStarted",
+    "STRATEGIES",
+    "register_dataset",
+    "register_initializer",
+    "register_plane",
+    "register_strategy",
+    "resolve_strategy",
+    "run_record",
+]

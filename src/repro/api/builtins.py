@@ -1,0 +1,278 @@
+"""Built-in registry entries: the paper's datasets, initializers, budget
+strategies and the three execution planes.
+
+Imported for its side effects by ``repro.api``; everything here goes
+through the same ``@register_*`` decorators a user extension would use,
+so this module doubles as the reference for writing one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..clustering.init import kmeanspp_init, sample_init, uniform_init
+from ..core.perturbed_kmeans import PerturbationOptions, iter_perturbed_kmeans
+from ..core.protocol import ChiaroscuroRun
+from ..datasets import (
+    TimeSeriesSet,
+    courbogen_like_centroids,
+    generate_cer,
+    generate_numed,
+    generate_points2d,
+)
+from ..privacy.budget import Greedy, GreedyFloor, UniformFast
+from .checkpoint import Checkpoint
+from .experiment import ExecutionPlane, PlaneStep, RunContext
+from .registry import (
+    register_dataset,
+    register_initializer,
+    register_plane,
+    register_strategy,
+)
+
+# --------------------------------------------------------------- datasets
+
+
+@register_dataset("cer")
+def _build_cer(seed: int, **params) -> TimeSeriesSet:
+    """CER-like electricity curves (Sec. 6.1 workload 1)."""
+    return generate_cer(seed=seed, **params)
+
+
+@register_dataset("numed")
+def _build_numed(seed: int, **params) -> TimeSeriesSet:
+    """NUMED-like tumor-growth series (Sec. 6.1 workload 2)."""
+    return generate_numed(seed=seed, **params)
+
+
+@register_dataset("points2d")
+def _build_points2d(seed: int, **params) -> TimeSeriesSet:
+    """The Appendix D duplicated A3-like 2-D points."""
+    return generate_points2d(seed=seed, **params)
+
+
+@register_dataset("timeseries")
+def _build_inline(
+    seed: int,
+    *,
+    values,
+    dmin: float,
+    dmax: float,
+    name: str = "timeseries",
+    population_scale: int = 1,
+) -> TimeSeriesSet:
+    """Inline data: the spec carries the t × n matrix itself (small sets)."""
+    del seed  # the data is literal; nothing to draw
+    return TimeSeriesSet(
+        values=np.asarray(values, dtype=float),
+        dmin=float(dmin),
+        dmax=float(dmax),
+        name=name,
+        population_scale=int(population_scale),
+    )
+
+
+# ----------------------------------------------------------- initializers
+
+
+@register_initializer("courbogen")
+def _init_courbogen(dataset: TimeSeriesSet, k: int, rng, **params) -> np.ndarray:
+    """CourboGen-like synthetic load profiles (never raw data)."""
+    del dataset, params
+    return courbogen_like_centroids(k, rng)
+
+
+@register_initializer("sample")
+def _init_sample(dataset: TimeSeriesSet, k: int, rng, **params) -> np.ndarray:
+    """k series sampled uniformly from the dataset."""
+    del params
+    return sample_init(dataset.values, k, rng)
+
+
+@register_initializer("uniform")
+def _init_uniform(dataset: TimeSeriesSet, k: int, rng, **params) -> np.ndarray:
+    """Uniform draws in the dataset's value range."""
+    return uniform_init(k, dataset.n, dataset.dmin, dataset.dmax, rng, **params)
+
+
+@register_initializer("kmeanspp")
+def _init_kmeanspp(dataset: TimeSeriesSet, k: int, rng, **params) -> np.ndarray:
+    """k-means++ seeding (D² sampling)."""
+    del params
+    return kmeanspp_init(dataset.values, k, rng)
+
+
+@register_initializer("matrix")
+def _init_matrix(dataset: TimeSeriesSet, k: int, rng, *, values) -> np.ndarray:
+    """Inline centroids: the spec carries the k × n matrix itself."""
+    del rng
+    matrix = np.asarray(values, dtype=float)
+    if matrix.shape != (k, dataset.n):
+        raise ValueError(
+            f"inline centroids must be {(k, dataset.n)}, got {matrix.shape}"
+        )
+    return matrix
+
+
+# -------------------------------------------------------------- strategies
+
+
+@register_strategy("G")
+def _strategy_greedy(params, label: str) -> Greedy:
+    del label
+    return Greedy(params.epsilon)
+
+
+@register_strategy("GF")
+def _strategy_greedy_floor(params, label: str) -> GreedyFloor:
+    del label
+    return GreedyFloor(params.epsilon, floor_size=params.floor_size)
+
+
+@register_strategy("UF")
+def _strategy_uniform_fast(params, label: str) -> UniformFast:
+    n_iterations = int(label[2:]) if len(label) > 2 else params.uf_iterations
+    return UniformFast(params.epsilon, n_iterations=n_iterations)
+
+
+# ------------------------------------------------------------------ planes
+
+#: ``RunSpec.options`` keys the quality plane forwards to
+#: :class:`~repro.core.perturbed_kmeans.PerturbationOptions`.
+QUALITY_OPTION_KEYS = ("sensitivity_mode", "gossip_e_max", "count_floor")
+
+
+@register_plane("quality")
+class QualityPlane(ExecutionPlane):
+    """Perturbed centralized k-means — the paper's Sec. 6.1 quality plane."""
+
+    supports_checkpoint = True
+    option_keys = frozenset(QUALITY_OPTION_KEYS)
+
+    def run_iter(
+        self,
+        ctx: RunContext,
+        resume: Checkpoint | None = None,
+        cycle_hook: Callable[[int, int], None] | None = None,
+    ) -> Iterator[PlaneStep]:
+        del cycle_hook  # no gossip engine on this plane
+        spec, params = ctx.spec, ctx.params
+        options = PerturbationOptions(
+            smoothing=params.use_smoothing,
+            **{k: spec.options[k] for k in QUALITY_OPTION_KEYS if k in spec.options},
+        )
+        rng = np.random.default_rng(spec.seed + 1)
+        centroids = ctx.initial_centroids
+        start = 1
+        if resume is not None:
+            rng.bit_generator.state = resume.rng_state
+            centroids = np.asarray(resume.centroids, dtype=float)
+            start = resume.iteration + 1
+        for step in iter_perturbed_kmeans(
+            ctx.dataset,
+            centroids,
+            ctx.strategy,
+            max_iterations=params.max_iterations,
+            theta=params.theta,
+            smoothing_window=params.smoothing_window(ctx.dataset.n),
+            options=options,
+            churn=spec.churn,
+            rng=rng,
+            start_iteration=start,
+        ):
+            yield PlaneStep(
+                stats=step.stats,
+                centroids=step.centroids,
+                converged=step.converged,
+                active_series=step.active_series,
+                rng_state=rng.bit_generator.state,
+            )
+
+
+class _ProtocolPlane(ExecutionPlane):
+    """Shared dispatch for the two ``ChiaroscuroRun`` substrates."""
+
+    def _build_run(self, ctx: RunContext) -> ChiaroscuroRun:
+        run = ChiaroscuroRun(
+            ctx.dataset,
+            ctx.strategy,
+            ctx.params,
+            ctx.initial_centroids,
+            key_bits=ctx.params.key_bits,
+            seed=ctx.spec.seed,
+            keypair=ctx.keypair,
+        )
+        ctx.runtime = run  # exposed for diagnostics (e.g. wire-format demos)
+        return run
+
+    def _iterate(
+        self,
+        run: ChiaroscuroRun,
+        ctx: RunContext,
+        start: int,
+        snapshot: Callable[[], dict | None],
+    ) -> Iterator[PlaneStep]:
+        for step in run.run_iter(churn=ctx.spec.churn, start_iteration=start):
+            yield PlaneStep(
+                stats=step.stats,
+                centroids=step.centroids,
+                converged=step.converged,
+                agreement=step.agreement,
+                exchanges_per_node=step.exchanges_per_node,
+                rng_state=snapshot(),
+            )
+
+
+@register_plane("object")
+class ObjectPlane(_ProtocolPlane):
+    """Cycle-driven engine with genuine Damgård–Jurik ciphertexts.
+
+    Not checkpointable: resuming would need the full keypair plus the
+    ``random.Random`` crypto stream serialized; at this plane's
+    tens-to-hundreds-of-devices reach, re-running is cheaper than that
+    machinery.
+    """
+
+    supports_checkpoint = False
+
+    def run_iter(
+        self,
+        ctx: RunContext,
+        resume: Checkpoint | None = None,
+        cycle_hook: Callable[[int, int], None] | None = None,
+    ) -> Iterator[PlaneStep]:
+        self._reject_resume(resume)
+        run = self._build_run(ctx)
+        run.cycle_hook = cycle_hook
+        yield from self._iterate(run, ctx, start=1, snapshot=lambda: None)
+
+
+@register_plane("vectorized")
+class VectorizedPlane(_ProtocolPlane):
+    """Struct-of-arrays full-protocol plane (10⁵–10⁶ participants).
+
+    Checkpointable: per-iteration gossip engines are seeded from
+    ``seed + 1000·iteration`` and the only cross-iteration RNG is
+    ``noise_rng``, whose bit-generator state rides in the checkpoint.
+    """
+
+    supports_checkpoint = True
+
+    def run_iter(
+        self,
+        ctx: RunContext,
+        resume: Checkpoint | None = None,
+        cycle_hook: Callable[[int, int], None] | None = None,
+    ) -> Iterator[PlaneStep]:
+        run = self._build_run(ctx)
+        run.cycle_hook = cycle_hook
+        start = 1
+        if resume is not None:
+            run.noise_rng.bit_generator.state = resume.rng_state
+            run.initial_centroids = np.asarray(resume.centroids, dtype=float)
+            start = resume.iteration + 1
+        yield from self._iterate(
+            run, ctx, start=start, snapshot=lambda: run.noise_rng.bit_generator.state
+        )

@@ -1,0 +1,111 @@
+"""Checkpoint/resume: survive a killed run without losing iterations.
+
+After every completed iteration on a checkpointable plane, the
+:class:`~repro.api.experiment.Experiment` serializes everything the next
+iteration depends on — the released centroids, the iteration index, the
+spent budget, the plane RNG state and the full per-iteration history — as
+one JSON file in a checkpoint directory.  Resuming replays nothing: the
+loop re-enters at ``iteration + 1`` with the restored RNG state, so a
+resumed seeded run is bit-identical to an uninterrupted one (asserted by
+``tests/api/test_checkpoint.py``).
+
+RNG state travels as the ``numpy`` bit-generator state dict (PCG64: two
+128-bit integers — JSON handles Python's arbitrary-precision ints
+exactly).  The spec rides inside the checkpoint and is compared on
+resume, so a checkpoint can never silently continue a *different*
+experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+_PREFIX = "checkpoint_"
+
+
+@dataclass
+class Checkpoint:
+    """The complete resumable state after one iteration."""
+
+    spec: dict  # RunSpec.to_dict() of the run that wrote it
+    plane: str
+    iteration: int  # last *completed* iteration (1-indexed)
+    centroids: list  # released centroids after that iteration
+    epsilon_spent: float
+    rng_state: dict  # numpy bit-generator state (plane-specific stream)
+    history: list = field(default_factory=list)  # IterationStats.to_dict() each
+    converged: bool = False  # θ-test fired at this iteration: do not resume past it
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "chiaroscuro-checkpoint/v1",
+                "spec": self.spec,
+                "plane": self.plane,
+                "iteration": self.iteration,
+                "centroids": self.centroids,
+                "epsilon_spent": self.epsilon_spent,
+                "rng_state": self.rng_state,
+                "history": self.history,
+                "converged": self.converged,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        d = json.loads(text)
+        fmt = d.get("format", "chiaroscuro-checkpoint/v1")
+        if fmt != "chiaroscuro-checkpoint/v1":
+            raise ValueError(f"unsupported checkpoint format {fmt!r}")
+        return cls(
+            spec=d["spec"],
+            plane=d["plane"],
+            iteration=int(d["iteration"]),
+            centroids=d["centroids"],
+            epsilon_spent=float(d["epsilon_spent"]),
+            rng_state=d["rng_state"],
+            history=d.get("history", []),
+            converged=bool(d.get("converged", False)),
+        )
+
+
+class CheckpointStore:
+    """One directory of ``checkpoint_<iteration>.json`` files."""
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, iteration: int) -> pathlib.Path:
+        return self.directory / f"{_PREFIX}{iteration:06d}.json"
+
+    def save(self, checkpoint: Checkpoint) -> pathlib.Path:
+        """Write atomically (tmp + rename): a kill mid-write never corrupts
+        the latest resumable state."""
+        path = self.path_for(checkpoint.iteration)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(checkpoint.to_json() + "\n")
+        tmp.replace(path)
+        return path
+
+    def iterations(self) -> list[int]:
+        out = []
+        for entry in self.directory.glob(f"{_PREFIX}*.json"):
+            stem = entry.stem[len(_PREFIX) :]
+            if stem.isdigit():
+                out.append(int(stem))
+        return sorted(out)
+
+    def latest(self) -> Checkpoint | None:
+        iterations = self.iterations()
+        if not iterations:
+            return None
+        return Checkpoint.from_json(self.path_for(iterations[-1]).read_text())
+
+    def clear(self) -> None:
+        for iteration in self.iterations():
+            self.path_for(iteration).unlink()

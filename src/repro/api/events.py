@@ -1,0 +1,82 @@
+"""Typed streaming events emitted by ``Experiment.run_iter``.
+
+The event stream is the observation surface of a run: every frontend
+(CLI progress table, benchmark telemetry, a future service pushing
+server-sent events) consumes the same sequence —
+
+    RunStarted, (IterationCompleted [CheckpointSaved])*, RunCompleted
+
+A consumer may stop iterating at any point (early stopping); generators
+clean up behind it, and any checkpoints already written remain resumable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.results import ClusteringResult, IterationStats
+    from .spec import RunSpec
+
+__all__ = [
+    "CheckpointSaved",
+    "IterationCompleted",
+    "RunCompleted",
+    "RunEvent",
+    "RunStarted",
+]
+
+
+@dataclass(frozen=True)
+class RunStarted:
+    """Emitted once, before the first iteration (or after a resume)."""
+
+    spec: "RunSpec"
+    label: str  # paper-style strategy label, e.g. "G_SMA"
+    dataset_name: str
+    t: int  # stored series / participants
+    n: int  # series length
+    population: int  # effective individuals (t × population_scale)
+    sum_sensitivity: float
+    resumed_iteration: int = 0  # 0 = fresh run; i = resuming after iteration i
+
+
+@dataclass(frozen=True)
+class IterationCompleted:
+    """One finished iteration: the paper's stats plus run-level counters."""
+
+    stats: "IterationStats"
+    epsilon_spent_total: float
+    epsilon_remaining: float
+    active_series: int | None = None  # churn counter (quality plane)
+    agreement: float | None = None  # epidemic spread (protocol planes)
+    exchanges_per_node: float | None = None  # gossip counter (protocol planes)
+
+    @property
+    def iteration(self) -> int:
+        return self.stats.iteration
+
+    @property
+    def n_centroids(self) -> int:
+        return self.stats.n_centroids
+
+
+@dataclass(frozen=True)
+class CheckpointSaved:
+    """A resumable checkpoint for the just-completed iteration was written."""
+
+    iteration: int
+    path: pathlib.Path
+
+
+@dataclass(frozen=True)
+class RunCompleted:
+    """Emitted once; carries the final result (and reason the loop ended)."""
+
+    result: "ClusteringResult"
+    reason: str  # "converged" | "budget" | "iterations" | "clusters-lost"
+
+
+RunEvent = Union[RunStarted, IterationCompleted, CheckpointSaved, RunCompleted]

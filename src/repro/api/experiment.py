@@ -1,0 +1,345 @@
+"""The ``Experiment`` facade: one front door for every execution plane.
+
+    spec = RunSpec.load("experiment.json")
+    result = Experiment.from_spec(spec).run()
+
+or, streaming with checkpointing:
+
+    for event in Experiment.from_spec(spec).run_iter(checkpoint_dir="ckpt"):
+        ...
+
+``Experiment`` resolves the spec's registry keys (dataset, initializer,
+strategy, plane), builds the workload, and dispatches to the plane's
+runner.  Planes are :class:`ExecutionPlane` instances in the
+:data:`~repro.api.registry.PLANES` registry — the built-ins (``quality``,
+``object``, ``vectorized``) are registered by :mod:`repro.api.builtins`,
+and a new plane is one ``@register_plane`` away.
+
+Seed discipline (what makes checkpoint/resume bit-identical):
+
+* dataset generation uses ``dataset.params["seed"]`` if present, else the
+  run seed;
+* the initializer draws from ``default_rng(init.params["seed"] | seed)``;
+* the quality plane's perturbation stream is ``default_rng(seed + 1)``
+  (mirroring ``ChiaroscuroRun``'s ``noise_rng``), and the protocol planes
+  seed ``ChiaroscuroRun(seed=spec.seed)`` exactly as before this facade
+  existed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..core.config import ChiaroscuroParams
+from ..core.perturbed_kmeans import PerturbationOptions, iter_perturbed_kmeans
+from ..core.protocol import ChiaroscuroRun
+from ..core.results import ClusteringResult, IterationStats
+from ..datasets.timeseries import TimeSeriesSet
+from ..privacy.budget import BudgetStrategy
+from .checkpoint import Checkpoint, CheckpointStore
+from .events import (
+    CheckpointSaved,
+    IterationCompleted,
+    RunCompleted,
+    RunEvent,
+    RunStarted,
+)
+from .registry import DATASETS, INITIALIZERS, PLANES, resolve_strategy
+from .spec import RunSpec
+
+__all__ = [
+    "Experiment",
+    "ExecutionPlane",
+    "PlaneStep",
+    "RunContext",
+    "RESULT_SCHEMA",
+    "run_record",
+]
+
+#: Schema tag shared by every structured result emitted by the CLI and the
+#: benchmark suite (see :func:`run_record`).
+RESULT_SCHEMA = "chiaroscuro-run/v1"
+
+
+@dataclass
+class RunContext:
+    """Everything a plane needs, resolved once per experiment."""
+
+    spec: RunSpec
+    dataset: TimeSeriesSet
+    initial_centroids: np.ndarray
+    strategy: BudgetStrategy
+    params: ChiaroscuroParams
+    keypair: Any = None  # optional pre-built ThresholdKeypair (object plane)
+    runtime: Any = None  # plane-owned engine object, exposed for diagnostics
+
+
+@dataclass
+class PlaneStep:
+    """The plane-agnostic per-iteration record planes yield to the facade."""
+
+    stats: IterationStats
+    centroids: np.ndarray
+    converged: bool
+    active_series: int | None = None
+    agreement: float | None = None
+    exchanges_per_node: float | None = None
+    rng_state: dict | None = None  # serializable; None = not checkpointable
+
+
+class ExecutionPlane:
+    """Base class for registry-registered execution planes."""
+
+    key: str = ""
+    supports_checkpoint: bool = False
+    #: ``RunSpec.options`` keys this plane consumes.  Spec validation
+    #: rejects keys no registered plane declares (typo protection), while
+    #: a plane ignores other planes' keys so one spec can pivot planes.
+    option_keys: frozenset = frozenset()
+
+    def run_iter(
+        self,
+        ctx: RunContext,
+        resume: Checkpoint | None = None,
+        cycle_hook: Callable[[int, int], None] | None = None,
+    ) -> Iterator[PlaneStep]:
+        raise NotImplementedError
+
+    def _reject_resume(self, resume: Checkpoint | None) -> None:
+        if resume is not None and not self.supports_checkpoint:
+            raise ValueError(
+                f"plane {self.key!r} does not support checkpoint/resume"
+            )
+
+
+def _dataset_cache_key(kind: str, params: dict, seed: int) -> str:
+    return json.dumps([kind, params, seed], sort_keys=True)
+
+
+_DATASET_CACHE: dict[str, TimeSeriesSet] = {}
+_DATASET_CACHE_MAX = 8
+
+
+def build_dataset(kind: str, params: dict, seed: int) -> TimeSeriesSet:
+    """Build (or reuse) a workload; sweeps over run seeds hit the cache."""
+    params = dict(params)
+    dataset_seed = params.pop("seed", seed)  # a pinned seed defines the data
+    key = _dataset_cache_key(kind, params, dataset_seed)
+    cached = _DATASET_CACHE.get(key)
+    if cached is not None:
+        return cached
+    dataset = DATASETS.get(kind)(seed=dataset_seed, **params)
+    if dataset.values.size <= 5_000_000:  # don't pin 10⁵–10⁶-node matrices
+        if len(_DATASET_CACHE) >= _DATASET_CACHE_MAX:
+            _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+        _DATASET_CACHE[key] = dataset
+    return dataset
+
+
+class Experiment:
+    """Facade: resolve a :class:`RunSpec` and execute it on its plane."""
+
+    def __init__(self, spec: RunSpec, keypair: Any = None) -> None:
+        self.spec = spec
+        self._keypair = keypair
+        self._context: RunContext | None = None
+
+    @classmethod
+    def from_spec(cls, spec: RunSpec, *, keypair: Any = None) -> "Experiment":
+        return cls(spec, keypair=keypair)
+
+    # -------------------------------------------------------------- context
+
+    @property
+    def context(self) -> RunContext:
+        """The resolved workload/strategy/centroids (built on first access)."""
+        if self._context is None:
+            self._context = self._build_context()
+        return self._context
+
+    def _build_context(self) -> RunContext:
+        spec = self.spec
+        dataset = build_dataset(spec.dataset.kind, spec.dataset.params, spec.seed)
+        init_params = dict(spec.init.params)
+        init_rng = np.random.default_rng(init_params.pop("seed", spec.seed))
+        initial = INITIALIZERS.get(spec.init.kind)(
+            dataset, spec.params.k, init_rng, **init_params
+        )
+        initial = np.asarray(initial, dtype=float)
+        strategy = resolve_strategy(spec.strategy, spec.params)
+        return RunContext(
+            spec=spec,
+            dataset=dataset,
+            initial_centroids=initial,
+            strategy=strategy,
+            params=spec.params,
+            keypair=self._keypair,
+        )
+
+    def smoothing_active(self) -> bool:
+        """Whether the SMA post-step applies to this run (all planes agree)."""
+        n = self.context.dataset.n
+        window = self.spec.params.smoothing_window(n)
+        return self.spec.params.use_smoothing and 0 < window < n
+
+    def label(self) -> str:
+        """Paper-style label for the run (e.g. ``"G_SMA"``)."""
+        suffix = "_SMA" if self.smoothing_active() else ""
+        return f"{self.spec.strategy.upper()}{suffix}"
+
+    # ------------------------------------------------------------ execution
+
+    def run_iter(
+        self,
+        checkpoint_dir: str | None = None,
+        resume: bool = True,
+        cycle_hook: Callable[[int, int], None] | None = None,
+    ) -> Iterator[RunEvent]:
+        """Execute the spec, yielding typed :class:`RunEvent` objects.
+
+        With ``checkpoint_dir``, a :class:`Checkpoint` is written after
+        every iteration (on planes that support it) and, when ``resume``
+        is true and the directory already holds a checkpoint *of the same
+        spec*, the run continues after its last completed iteration.
+        Consumers may stop iterating at any time (early stopping).
+        """
+        spec = self.spec
+        ctx = self.context
+        plane: ExecutionPlane = PLANES.get(spec.plane)
+
+        store: CheckpointStore | None = None
+        checkpoint: Checkpoint | None = None
+        if checkpoint_dir is not None:
+            if not plane.supports_checkpoint:
+                raise ValueError(
+                    f"plane {spec.plane!r} does not support checkpointing; "
+                    "drop checkpoint_dir or use the quality/vectorized plane"
+                )
+            store = CheckpointStore(checkpoint_dir)
+            if resume:
+                checkpoint = store.latest()
+                if checkpoint is not None and checkpoint.spec != spec.to_dict():
+                    raise ValueError(
+                        f"checkpoint in {store.directory} was written by a "
+                        "different spec; refusing to resume (clear the "
+                        "directory or pass resume=False)"
+                    )
+
+        result = ClusteringResult(
+            centroids=ctx.initial_centroids.copy(),
+            strategy=ctx.strategy.name,
+            smoothing=self.smoothing_active(),
+        )
+        epsilon_total = ctx.strategy.epsilon
+        spent = 0.0
+        if checkpoint is not None:
+            result.history = [
+                IterationStats.from_dict(s) for s in checkpoint.history
+            ]
+            spent = checkpoint.epsilon_spent
+            final_centroids = np.asarray(checkpoint.centroids, dtype=float)
+        else:
+            final_centroids = ctx.initial_centroids
+
+        yield RunStarted(
+            spec=spec,
+            label=self.label(),
+            dataset_name=ctx.dataset.name,
+            t=ctx.dataset.t,
+            n=ctx.dataset.n,
+            population=ctx.dataset.population,
+            sum_sensitivity=ctx.dataset.sum_sensitivity,
+            resumed_iteration=checkpoint.iteration if checkpoint else 0,
+        )
+
+        converged = checkpoint.converged if checkpoint is not None else False
+        steps: Iterator[PlaneStep] = (
+            iter(())  # the checkpointed run already converged: nothing to do
+            if converged
+            else plane.run_iter(ctx, resume=checkpoint, cycle_hook=cycle_hook)
+        )
+        for step in steps:
+            result.history.append(step.stats)
+            spent += step.stats.epsilon_spent
+            final_centroids = step.centroids
+            converged = step.converged
+            yield IterationCompleted(
+                stats=step.stats,
+                epsilon_spent_total=spent,
+                epsilon_remaining=max(0.0, epsilon_total - spent),
+                active_series=step.active_series,
+                agreement=step.agreement,
+                exchanges_per_node=step.exchanges_per_node,
+            )
+            if store is not None and step.rng_state is not None:
+                path = store.save(
+                    Checkpoint(
+                        spec=spec.to_dict(),
+                        plane=spec.plane,
+                        iteration=step.stats.iteration,
+                        centroids=np.asarray(step.centroids).tolist(),
+                        epsilon_spent=spent,
+                        rng_state=step.rng_state,
+                        history=[s.to_dict() for s in result.history],
+                        converged=step.converged,
+                    )
+                )
+                yield CheckpointSaved(iteration=step.stats.iteration, path=path)
+
+        result.centroids = np.asarray(final_centroids, dtype=float)
+        result.converged = converged
+        yield RunCompleted(result=result, reason=self._reason(result))
+
+    def run(
+        self,
+        checkpoint_dir: str | None = None,
+        resume: bool = True,
+        cycle_hook: Callable[[int, int], None] | None = None,
+    ) -> ClusteringResult:
+        """Execute the spec to completion; returns the final result."""
+        result: ClusteringResult | None = None
+        for event in self.run_iter(
+            checkpoint_dir=checkpoint_dir, resume=resume, cycle_hook=cycle_hook
+        ):
+            if isinstance(event, RunCompleted):
+                result = event.result
+        assert result is not None  # run_iter always ends with RunCompleted
+        return result
+
+    def _reason(self, result: ClusteringResult) -> str:
+        if result.converged:
+            return "converged"
+        last = result.history[-1].iteration if result.history else 0
+        if last >= self.spec.params.max_iterations:
+            return "iterations"
+        bound = self.context.strategy.max_iterations()
+        if bound is not None and last >= bound:
+            return "budget"
+        return "clusters-lost"
+
+
+def run_record(
+    spec: RunSpec,
+    result: ClusteringResult,
+    timings: dict | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """The canonical structured record of one run (``chiaroscuro-run/v1``).
+
+    Every structured emitter — ``repro cluster --json-out``, the benchmark
+    suite's ``record_runs`` — wraps runs in this one schema so BENCH/result
+    JSON files are diffable across PRs and tools.
+    """
+    record = {
+        "schema": RESULT_SCHEMA,
+        "spec": spec.to_dict(),
+        "result": result.to_dict(),
+        "timings": dict(timings or {}),
+    }
+    if extra:
+        record.update(extra)
+    return record

@@ -1,0 +1,267 @@
+"""The declarative experiment specification — ``RunSpec`` and its blocks.
+
+A :class:`RunSpec` is the *artifact*: a frozen, JSON-round-trippable
+description of one experiment — dataset block, init block, the full
+:class:`~repro.core.config.ChiaroscuroParams` sheet (Tables 1–2), budget
+strategy, seed and execution plane.  Any frontend (CLI, benchmark, test,
+service) submits a spec; :class:`~repro.api.experiment.Experiment` decides
+how to execute it.  The same spec modulo its ``plane`` field drives the
+quality, object and vectorized planes.
+
+Construction paths: direct, :meth:`RunSpec.from_dict` /
+:meth:`RunSpec.from_json` / :meth:`RunSpec.load`, and
+:meth:`RunSpec.from_cli_args` (the ``repro cluster`` flag set).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.config import ChiaroscuroParams
+from .registry import DATASETS, INITIALIZERS, PLANES, resolve_strategy
+
+__all__ = ["DatasetSpec", "InitSpec", "RunSpec"]
+
+#: Planes that execute through ``ChiaroscuroRun`` and therefore must agree
+#: with ``ChiaroscuroParams.protocol_plane``.
+PROTOCOL_PLANES = ("object", "vectorized")
+
+#: Default initializer per built-in dataset kind (used by ``from_cli_args``).
+DEFAULT_INITIALIZERS = {
+    "cer": "courbogen",
+    "numed": "sample",
+    "points2d": "sample",
+    "timeseries": "sample",
+}
+
+
+def _jsonify(value: Any) -> Any:
+    """Normalize to plain JSON types so spec equality survives round-trips."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    raise TypeError(f"spec parameter of unsupported type {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Which workload to build: a registry kind plus generator kwargs.
+
+    ``params`` may carry its own ``"seed"``; otherwise the run seed is
+    used, so sweeps can pin the dataset while varying run randomness.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _jsonify(self.params))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "DatasetSpec":
+        return cls(kind=d["kind"], params=dict(d.get("params", {})))
+
+
+@dataclass(frozen=True)
+class InitSpec:
+    """How to draw the k initial centroids (``k`` itself lives in params.k).
+
+    Like datasets, ``params`` may pin its own ``"seed"``.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _jsonify(self.params))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "InitSpec":
+        return cls(kind=d["kind"], params=dict(d.get("params", {})))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment, fully specified and serializable.
+
+    ``options`` carries plane-specific knobs outside the Table 1 sheet —
+    the quality plane reads ``sensitivity_mode``, ``gossip_e_max`` and
+    ``count_floor`` (see
+    :class:`~repro.core.perturbed_kmeans.PerturbationOptions`).  Keys no
+    registered plane declares in its ``option_keys`` are rejected here
+    (typo protection); a plane simply ignores *other* planes' keys, so
+    one spec can still pivot across planes.
+    """
+
+    dataset: DatasetSpec
+    init: InitSpec
+    params: ChiaroscuroParams = field(default_factory=ChiaroscuroParams)
+    strategy: str = ""
+    seed: int = 0
+    plane: str = "quality"
+    churn: float = 0.0
+    options: dict = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", _jsonify(self.options))
+        if not self.strategy:
+            object.__setattr__(self, "strategy", self.params.budget_strategy)
+        if not 0 <= self.churn < 1:
+            raise ValueError("churn must be in [0, 1)")
+        if self.plane not in PLANES:
+            raise ValueError(
+                f"unknown plane {self.plane!r}; registered: {', '.join(PLANES.keys())}"
+            )
+        if self.dataset.kind not in DATASETS:
+            raise ValueError(
+                f"unknown dataset {self.dataset.kind!r}; registered: "
+                f"{', '.join(DATASETS.keys())}"
+            )
+        if self.init.kind not in INITIALIZERS:
+            raise ValueError(
+                f"unknown initializer {self.init.kind!r}; registered: "
+                f"{', '.join(INITIALIZERS.keys())}"
+            )
+        try:
+            resolve_strategy(self.strategy, self.params)
+        except KeyError as exc:
+            raise ValueError(str(exc)) from None
+        known_options = set().union(
+            *(PLANES.get(key).option_keys for key in PLANES)
+        )
+        unknown = sorted(set(self.options) - known_options)
+        if unknown:
+            raise ValueError(
+                f"unknown options key(s) {', '.join(map(repr, unknown))}; "
+                f"keys declared by registered planes: "
+                f"{', '.join(sorted(known_options)) or '(none)'}"
+            )
+        if self.plane in PROTOCOL_PLANES and self.params.protocol_plane != self.plane:
+            raise ValueError(
+                f"plane={self.plane!r} requires params.protocol_plane={self.plane!r} "
+                f"(got {self.params.protocol_plane!r}); build the spec via "
+                "from_dict/with_plane, which reconcile the two"
+            )
+
+    # ------------------------------------------------------------------ io
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "plane": self.plane,
+            "seed": self.seed,
+            "churn": self.churn,
+            "strategy": self.strategy,
+            "dataset": self.dataset.to_dict(),
+            "init": self.init.to_dict(),
+            "params": asdict(self.params),
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "RunSpec":
+        plane = d.get("plane", "quality")
+        params_dict = dict(d.get("params", {}))
+        if plane in PROTOCOL_PLANES:
+            params_dict["protocol_plane"] = plane
+        try:
+            params = ChiaroscuroParams(**params_dict)
+        except TypeError as exc:
+            raise ValueError(f"bad params block: {exc}") from None
+        return cls(
+            dataset=DatasetSpec.from_dict(d["dataset"]),
+            init=InitSpec.from_dict(d["init"]),
+            params=params,
+            strategy=d.get("strategy", "") or params.budget_strategy,
+            seed=int(d.get("seed", 0)),
+            plane=plane,
+            churn=float(d.get("churn", 0.0)),
+            options=dict(d.get("options", {})),
+            name=d.get("name", ""),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "RunSpec":
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    # ------------------------------------------------------------ variants
+
+    def with_plane(self, plane: str) -> "RunSpec":
+        """The same experiment on a different plane (the three-plane pivot)."""
+        d = self.to_dict()
+        d["plane"] = plane
+        return RunSpec.from_dict(d)
+
+    def replace(self, **changes) -> "RunSpec":
+        """``dataclasses.replace`` with re-validation."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ cli
+
+    @classmethod
+    def from_cli_args(cls, args) -> "RunSpec":
+        """Build a spec from the ``repro cluster`` argparse namespace.
+
+        ``theta`` is pinned to 0 (the paper's Fig. 2 setting: traces span
+        the full iteration budget) — pass a spec file for convergence-test
+        runs.
+        """
+        plane = getattr(args, "plane", None) or "quality"
+        params_dict = dict(
+            k=args.k,
+            epsilon=args.epsilon,
+            max_iterations=args.iterations,
+            budget_strategy=args.strategy.upper(),
+            use_smoothing=not args.no_smoothing,
+            key_bits=args.key_bits,
+            theta=0.0,
+        )
+        if plane in PROTOCOL_PLANES:
+            params_dict["protocol_plane"] = plane
+        dataset_params: dict[str, Any] = {}
+        if args.dataset in ("cer", "numed"):
+            dataset_params = {"n_series": args.series, "population_scale": args.scale}
+        elif args.dataset == "timeseries":
+            raise ValueError(
+                "the 'timeseries' dataset carries inline values — use --spec"
+            )
+        return cls(
+            dataset=DatasetSpec(kind=args.dataset, params=dataset_params),
+            init=InitSpec(kind=DEFAULT_INITIALIZERS.get(args.dataset, "sample")),
+            params=ChiaroscuroParams(**params_dict),
+            strategy=args.strategy.upper(),
+            seed=args.seed,
+            plane=plane,
+            churn=args.churn,
+        )

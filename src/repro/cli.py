@@ -2,10 +2,16 @@
 
 Subcommands
 -----------
-``cluster``   perturbed k-means on a synthetic workload::
+``cluster``   any clustering experiment, on any execution plane, driven by
+the unified ``repro.api`` surface.  Flags build a :class:`~repro.api.RunSpec`
+on the fly, or ``--spec`` loads one from JSON (the canonical, shareable
+form)::
 
     python -m repro cluster --dataset cer --series 10000 --scale 100 \
         --k 20 --strategy G --epsilon 0.69 --iterations 8
+    python -m repro cluster --spec examples/specs/cer_small.json \
+        --checkpoint-dir ckpt --json-out result.json
+    python -m repro cluster --dataset numed --plane vectorized --k 8
 
 ``plan``      print the Appendix B gossip/privacy plan (δ_atom, ι, n_e)::
 
@@ -20,9 +26,12 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
-import numpy as np
+from . import __version__
+from .api import DATASETS, PLANES
 
 __all__ = ["main", "build_parser"]
 
@@ -32,10 +41,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Chiaroscuro (SIGMOD 2015) reproduction CLI"
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    cluster = sub.add_parser("cluster", help="run a perturbed k-means experiment")
-    cluster.add_argument("--dataset", choices=("cer", "numed"), default="cer")
+    cluster = sub.add_parser(
+        "cluster", help="run a clustering experiment on any execution plane"
+    )
+    cluster.add_argument("--spec", metavar="PATH",
+                         help="load a RunSpec JSON file; the spec-building flags "
+                              "(--dataset/--series/.../--seed) are then ignored, "
+                              "while --plane overrides the spec's plane and the "
+                              "run flags (--checkpoint-dir, --no-resume, "
+                              "--json-out) apply as usual")
+    cluster.add_argument("--plane", choices=PLANES.keys(), default=None,
+                         help="execution plane (default: quality, or the spec's)")
+    cluster.add_argument("--dataset", choices=DATASETS.keys(), default="cer")
     cluster.add_argument("--series", type=int, default=10_000)
     cluster.add_argument("--scale", type=int, default=100)
     cluster.add_argument("--k", type=int, default=20)
@@ -45,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--no-smoothing", action="store_true")
     cluster.add_argument("--churn", type=float, default=0.0)
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--key-bits", type=int, default=256,
+                         help="threshold-key modulus for --plane object "
+                              "(flag-built specs only; Table 2 uses 1024)")
+    cluster.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="write a resumable checkpoint after every "
+                              "iteration; an existing matching checkpoint "
+                              "resumes the run")
+    cluster.add_argument("--no-resume", action="store_true",
+                         help="ignore existing checkpoints in --checkpoint-dir")
+    cluster.add_argument("--json-out", metavar="PATH", default=None,
+                         help="write the structured run record "
+                              "(chiaroscuro-run/v1: spec + history + timings)")
 
     plan = sub.add_parser("plan", help="Appendix B privacy/gossip plan")
     plan.add_argument("--delta", type=float, default=0.995)
@@ -63,38 +97,83 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_cluster(args, out) -> int:
-    from .core import PerturbationOptions, perturbed_kmeans
-    from .datasets import courbogen_like_centroids, generate_cer, generate_numed
-    from .clustering import sample_init
-    from .privacy import strategy_from_name
+    from .api import RunSpec
 
-    rng = np.random.default_rng(args.seed)
-    if args.dataset == "cer":
-        data = generate_cer(n_series=args.series, population_scale=args.scale, seed=args.seed)
-        init = courbogen_like_centroids(args.k, rng)
-    else:
-        data = generate_numed(n_series=args.series, population_scale=args.scale, seed=args.seed)
-        init = sample_init(data.values, args.k, rng)
+    try:
+        if args.spec:
+            spec = RunSpec.load(args.spec)
+            if args.plane and args.plane != spec.plane:
+                spec = spec.with_plane(args.plane)
+        else:
+            spec = RunSpec.from_cli_args(args)
+        return _run_cluster(args, spec, out)
+    except ValueError as exc:
+        # Spec validation and checkpoint refusals (e.g. "written by a
+        # different spec") are user errors: message + exit code, no
+        # traceback.
+        print(f"error: {exc}", file=out)
+        return 2
 
-    strategy = strategy_from_name(args.strategy, args.epsilon)
-    result = perturbed_kmeans(
-        data, init, strategy, max_iterations=args.iterations,
-        options=PerturbationOptions(smoothing=not args.no_smoothing),
-        churn=args.churn, rng=rng,
+
+def _run_cluster(args, spec, out) -> int:
+    from .api import (
+        CheckpointSaved,
+        Experiment,
+        IterationCompleted,
+        RunCompleted,
+        RunStarted,
+        run_record,
     )
-    print(f"dataset={data.name} t={data.t} n={data.n} "
-          f"population={data.population:,} sensitivity={data.sum_sensitivity:.0f}",
-          file=out)
-    print(f"strategy={result.label} iterations={result.iterations}", file=out)
-    print(f"{'iter':>4} {'pre-inertia':>12} {'post-inertia':>13} {'#centroids':>11} {'eps':>9}",
-          file=out)
-    for stats in result.history:
-        print(f"{stats.iteration:>4} {stats.pre_inertia:>12.2f} "
-              f"{stats.post_inertia:>13.2f} {stats.n_centroids:>11d} "
-              f"{stats.epsilon_spent:>9.4f}", file=out)
+
+    experiment = Experiment.from_spec(spec)
+    result = None
+    started = time.perf_counter()
+    header_printed = False
+    for event in experiment.run_iter(
+        checkpoint_dir=args.checkpoint_dir, resume=not args.no_resume
+    ):
+        if isinstance(event, RunStarted):
+            print(f"dataset={event.dataset_name} t={event.t} n={event.n} "
+                  f"population={event.population:,} "
+                  f"sensitivity={event.sum_sensitivity:.0f}", file=out)
+            print(f"strategy={event.label} plane={spec.plane} seed={spec.seed}",
+                  file=out)
+            if event.resumed_iteration:
+                print(f"resuming after iteration {event.resumed_iteration} "
+                      f"(checkpoint in {args.checkpoint_dir})", file=out)
+        elif isinstance(event, IterationCompleted):
+            if not header_printed:
+                print(f"{'iter':>4} {'pre-inertia':>12} {'post-inertia':>13} "
+                      f"{'#centroids':>11} {'eps':>9} {'exch/node':>10}", file=out)
+                header_printed = True
+            exchanges = (f"{event.exchanges_per_node:>10.0f}"
+                         if event.exchanges_per_node is not None else f"{'-':>10}")
+            stats = event.stats
+            print(f"{stats.iteration:>4} {stats.pre_inertia:>12.2f} "
+                  f"{stats.post_inertia:>13.2f} {stats.n_centroids:>11d} "
+                  f"{stats.epsilon_spent:>9.4f} {exchanges}", file=out)
+        elif isinstance(event, CheckpointSaved):
+            pass  # noted in the summary; per-iteration chatter stays low
+        elif isinstance(event, RunCompleted):
+            result = event.result
+    elapsed = time.perf_counter() - started
+
+    if result is None or not result.history:
+        print("no iterations completed (budget exhausted or clusters lost)",
+              file=out)
+        return 1
     best = result.best_iteration()
     print(f"best iteration: {best.iteration} (pre-inertia {best.pre_inertia:.2f})",
           file=out)
+    if args.checkpoint_dir:
+        print(f"checkpoints in {args.checkpoint_dir} "
+              f"(resume with the same command)", file=out)
+    if args.json_out:
+        record = run_record(spec, result, timings={"wall_seconds": elapsed})
+        with open(args.json_out, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"run record written to {args.json_out}", file=out)
     return 0
 
 
@@ -142,9 +221,18 @@ def _cmd_costs(args, out) -> int:
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    With no arguments at all, prints the full help and exits 2 (instead of
+    the terse argparse usage error).
+    """
     out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    parser = build_parser()
+    if not argv:
+        parser.print_help(out)
+        return 2
+    args = parser.parse_args(argv)
     handlers = {"cluster": _cmd_cluster, "plan": _cmd_plan, "costs": _cmd_costs}
     return handlers[args.command](args, out)
 

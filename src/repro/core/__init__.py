@@ -10,11 +10,17 @@ from .diptych import Diptych, EncryptedMean, initialize_means
 from .noise import NoisePlan, encrypt_share_vector
 from .participant import Participant
 from .perturbed_em import EMTrace, GaussianMixtureState, em_sensitivities, perturbed_em
-from .perturbed_kmeans import PerturbationOptions, perturbed_kmeans
-from .protocol import ChiaroscuroRun, DistributedTrace
+from .perturbed_kmeans import (
+    PerturbationOptions,
+    QualityStep,
+    iter_perturbed_kmeans,
+    perturbed_kmeans,
+    resolve_smoothing_plan,
+)
+from .protocol import ChiaroscuroRun, DistributedTrace, ProtocolStep
 from .quality_monitor import QualityMonitor
 from .results import ClusteringResult, IterationStats
-from .smoothing import sma_smooth
+from .smoothing import derive_sma_window, sma_smooth
 from .verification import CrossCheckReport, DecryptionCrossCheck, DeviceRegistry
 
 __all__ = [
@@ -38,11 +44,16 @@ __all__ = [
     "NoisePlan",
     "Participant",
     "PerturbationOptions",
+    "ProtocolStep",
     "QualityMonitor",
+    "QualityStep",
+    "derive_sma_window",
     "em_sensitivities",
     "encrypt_share_vector",
     "initialize_means",
+    "iter_perturbed_kmeans",
     "perturbed_em",
     "perturbed_kmeans",
+    "resolve_smoothing_plan",
     "sma_smooth",
 ]

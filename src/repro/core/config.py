@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .smoothing import derive_sma_window
+
 __all__ = ["ChiaroscuroParams"]
 
 
@@ -119,5 +121,4 @@ class ChiaroscuroParams:
 
     def smoothing_window(self, series_length: int) -> int:
         """SMA window size ``w`` (even, so the ±w/2 span is symmetric)."""
-        w = int(round(self.smoothing_fraction * series_length))
-        return w if w % 2 == 0 else w - 1
+        return derive_sma_window(series_length, self.smoothing_fraction)

@@ -32,6 +32,7 @@ Per iteration ``i`` (1-indexed, budget ``ε_i`` from the strategy):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -44,9 +45,15 @@ from ..privacy.budget import BudgetExhausted, BudgetStrategy
 from ..privacy.laplace import sum_sensitivity
 from ..privacy.probabilistic import lemma2_noise_inflation, lemma2_scale
 from .results import ClusteringResult, IterationStats
-from .smoothing import sma_smooth
+from .smoothing import derive_sma_window, sma_smooth
 
-__all__ = ["PerturbationOptions", "perturbed_kmeans"]
+__all__ = [
+    "PerturbationOptions",
+    "QualityStep",
+    "iter_perturbed_kmeans",
+    "perturbed_kmeans",
+    "resolve_smoothing_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -121,7 +128,41 @@ def _gossip_error(
     return values * (1.0 + rng.uniform(-e_max, e_max, size=values.shape))
 
 
-def perturbed_kmeans(
+@dataclass
+class QualityStep:
+    """One completed quality-plane iteration, as yielded by the generator.
+
+    ``centroids`` are the *next* centroids (perturbed, possibly smoothed) —
+    the released output of the iteration; ``stats`` carries the paper's
+    per-iteration measurements; ``active_series`` counts the series that
+    survived the churn subsample (the whole dataset when churn is 0).
+    """
+
+    stats: IterationStats
+    centroids: np.ndarray
+    converged: bool
+    active_series: int
+
+
+def resolve_smoothing_plan(
+    series_length: int,
+    smoothing_window: int | None,
+    options: PerturbationOptions,
+) -> tuple[int, bool]:
+    """(window, applies) for a run — the single gate both entry points use.
+
+    A ``None`` window derives the Table 2 default (20 % of ``n``); smoothing
+    applies only when enabled *and* ``0 < window < n`` — the same guard the
+    protocol planes use (``ChiaroscuroParams.smoothing_window`` + bound
+    check), so the quality and distributed planes can never disagree on
+    whether a given series length is smoothable.
+    """
+    if smoothing_window is None:
+        smoothing_window = derive_sma_window(series_length)
+    return smoothing_window, options.smoothing and 0 < smoothing_window < series_length
+
+
+def iter_perturbed_kmeans(
     dataset: TimeSeriesSet,
     initial_centroids: np.ndarray,
     strategy: BudgetStrategy,
@@ -131,43 +172,46 @@ def perturbed_kmeans(
     options: PerturbationOptions | None = None,
     churn: float = 0.0,
     rng: np.random.Generator | None = None,
-) -> ClusteringResult:
-    """Run the perturbed k-means and return the full iteration trace.
+    start_iteration: int = 1,
+) -> Iterator[QualityStep]:
+    """The perturbed k-means loop as a generator of per-iteration steps.
 
-    ``smoothing_window`` defaults to 20 % of the series length (Table 2),
-    rounded down to even; pass ``0`` to disable smoothing regardless of
-    ``options.smoothing``.  ``theta = 0`` disables the convergence test so
-    traces always span ``min(max_iterations, strategy bound)`` iterations —
-    the paper's Fig. 2 setting.
+    This is the streaming primitive underneath :func:`perturbed_kmeans`
+    (and the ``repro.api`` quality plane): one :class:`QualityStep` per
+    completed iteration, so callers can report progress, stop early, or
+    checkpoint between iterations.  The generator returns (without a final
+    step) when the budget is exhausted or every cluster is lost.
+
+    ``start_iteration`` supports checkpoint resume: budget charges for
+    iterations ``1 .. start_iteration-1`` are replayed (deterministic, no
+    RNG consumption), and ``initial_centroids``/``rng`` are expected to
+    carry the checkpointed state.  A resumed run draws exactly the same
+    randomness as an uninterrupted one from that point on.
     """
-    rng = rng or np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng()
     options = options or PerturbationOptions()
     series_all = dataset.values
     scale_factor = float(dataset.population_scale)
 
-    if smoothing_window is None:
-        w = int(round(0.2 * dataset.n))
-        smoothing_window = w if w % 2 == 0 else w - 1
-    do_smooth = options.smoothing and smoothing_window > 0
+    smoothing_window, do_smooth = resolve_smoothing_plan(
+        dataset.n, smoothing_window, options
+    )
 
     accountant = PrivacyAccountant(epsilon_budget=strategy.epsilon)
+    for iteration in range(1, start_iteration):  # replay a resumed prefix
+        accountant.charge(strategy.epsilon_for(iteration))
     inflation = (
         lemma2_noise_inflation(options.gossip_e_max) if options.gossip_e_max > 0 else 1.0
     )
 
     centroids = np.asarray(initial_centroids, dtype=float).copy()
-    result = ClusteringResult(
-        centroids=centroids,
-        strategy=strategy.name,
-        smoothing=do_smooth,
-    )
 
-    for iteration in range(1, max_iterations + 1):
+    for iteration in range(start_iteration, max_iterations + 1):
         try:
             epsilon_i = strategy.epsilon_for(iteration)
             accountant.charge(epsilon_i)
         except BudgetExhausted:
-            break
+            return
 
         if churn > 0:
             keep = rng.random(len(series_all)) >= churn
@@ -199,33 +243,85 @@ def perturbed_kmeans(
 
         survive = alive_true & (noisy_counts > options.count_floor)
         if not survive.any():
-            break
+            return
         with np.errstate(invalid="ignore", divide="ignore"):
             perturbed = noisy_sums[survive] / noisy_counts[survive, None]
-        if do_smooth and dataset.n > smoothing_window:
+        if do_smooth:
             perturbed = sma_smooth(perturbed, smoothing_window)
 
         post_labels = assign_to_closest(series, perturbed)  # for POST bookkeeping
         post_inertia = intra_inertia(series, perturbed, _restrict_labels(labels, survive, post_labels))
 
-        result.history.append(
-            IterationStats(
-                iteration=iteration,
-                pre_inertia=float(pre_inertia),
-                post_inertia=float(post_inertia),
-                n_centroids=int(survive.sum()),
-                epsilon_spent=epsilon_i,
-                centroids=perturbed.copy(),
-            )
+        stats = IterationStats(
+            iteration=iteration,
+            pre_inertia=float(pre_inertia),
+            post_inertia=float(post_inertia),
+            n_centroids=int(survive.sum()),
+            epsilon_spent=epsilon_i,
+            centroids=perturbed.copy(),
         )
 
+        converged = False
         if theta > 0 and perturbed.shape == centroids.shape:
             displacement = float(np.mean((perturbed - centroids) ** 2))
-            if displacement < theta:
-                result.converged = True
-                centroids = perturbed
-                break
+            converged = displacement < theta
+
+        yield QualityStep(
+            stats=stats,
+            centroids=perturbed,
+            converged=converged,
+            active_series=len(series),
+        )
+        if converged:
+            return
         centroids = perturbed
+
+
+def perturbed_kmeans(
+    dataset: TimeSeriesSet,
+    initial_centroids: np.ndarray,
+    strategy: BudgetStrategy,
+    max_iterations: int = 10,
+    theta: float = 0.0,
+    smoothing_window: int | None = None,
+    options: PerturbationOptions | None = None,
+    churn: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> ClusteringResult:
+    """Run the perturbed k-means and return the full iteration trace.
+
+    ``smoothing_window`` defaults to 20 % of the series length (Table 2),
+    rounded down to even; pass ``0`` to disable smoothing regardless of
+    ``options.smoothing``.  ``theta = 0`` disables the convergence test so
+    traces always span ``min(max_iterations, strategy bound)`` iterations —
+    the paper's Fig. 2 setting.
+
+    A thin driver over :func:`iter_perturbed_kmeans`; use the generator
+    directly for streaming progress, early stopping, or checkpointing.
+    """
+    options = options or PerturbationOptions()
+    _, do_smooth = resolve_smoothing_plan(dataset.n, smoothing_window, options)
+
+    centroids = np.asarray(initial_centroids, dtype=float).copy()
+    result = ClusteringResult(
+        centroids=centroids,
+        strategy=strategy.name,
+        smoothing=do_smooth,
+    )
+    for step in iter_perturbed_kmeans(
+        dataset,
+        centroids,
+        strategy,
+        max_iterations=max_iterations,
+        theta=theta,
+        smoothing_window=smoothing_window,
+        options=options,
+        churn=churn,
+        rng=rng,
+    ):
+        result.history.append(step.stats)
+        result.converged = step.converged
+        centroids = step.centroids
 
     result.centroids = centroids
     return result

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -54,7 +55,7 @@ from .participant import Participant
 from .results import ClusteringResult, IterationStats
 from .smoothing import sma_smooth
 
-__all__ = ["ChiaroscuroRun", "DistributedTrace"]
+__all__ = ["ChiaroscuroRun", "DistributedTrace", "ProtocolStep"]
 
 
 @dataclass
@@ -63,6 +64,22 @@ class DistributedTrace:
 
     agreement: list[float] = field(default_factory=list)  # per-iteration spread
     exchanges_per_node: list[float] = field(default_factory=list)
+
+
+@dataclass
+class ProtocolStep:
+    """One completed distributed iteration, as yielded by ``run_iter``.
+
+    ``centroids`` are the released (perturbed, smoothed, lost-cluster-
+    pruned) centroids of the iteration; ``agreement`` and
+    ``exchanges_per_node`` are the :class:`DistributedTrace` entries for it.
+    """
+
+    stats: IterationStats
+    centroids: np.ndarray
+    converged: bool
+    agreement: float
+    exchanges_per_node: float
 
 
 class ChiaroscuroRun:
@@ -83,6 +100,7 @@ class ChiaroscuroRun:
         key_bits: int = 256,
         seed: int = 0,
         keypair: ThresholdKeypair | None = None,
+        cycle_hook: Callable[[int, int], None] | None = None,
     ) -> None:
         self.dataset = dataset
         self.strategy = strategy
@@ -91,6 +109,9 @@ class ChiaroscuroRun:
         self.seed = seed
         self.crypto_rng = random.Random(seed)
         self.noise_rng = np.random.default_rng(seed + 1)
+        # Observability hook handed to every per-iteration gossip engine:
+        # called after each cycle with (cycle_index, exchanges_in_cycle).
+        self.cycle_hook = cycle_hook
 
         population = dataset.t
         tau = params.tau_count(population)
@@ -190,40 +211,76 @@ class ChiaroscuroRun:
             for i in range(population)
         ]
 
+    def smoothing_plan(self) -> tuple[int, bool]:
+        """(window, applies) for this run — shared by both substrates."""
+        window = self.params.smoothing_window(self.dataset.n)
+        return window, self.params.use_smoothing and 0 < window < self.dataset.n
+
     def run(self, churn: float = 0.0) -> tuple[ClusteringResult, DistributedTrace]:
         """Execute Algorithm 1; returns the canonical trace plus diagnostics.
 
         Backend resources are released on every exit path; the run object
         stays reusable (a process-pool backend re-creates its executor
-        lazily).
+        lazily).  A thin driver over :meth:`run_iter`.
         """
-        if self.params.protocol_plane == "vectorized":
-            return self._run_vectorized(churn)
-        try:
-            return self._run(churn)
-        finally:
-            self.close()
-
-    def _run(self, churn: float) -> tuple[ClusteringResult, DistributedTrace]:
-        params = self.params
-        dataset = self.dataset
-        accountant = PrivacyAccountant(epsilon_budget=self.strategy.epsilon)
+        _, do_smooth = self.smoothing_plan()
         centroids = self.initial_centroids.copy()
-        window = params.smoothing_window(dataset.n)
-        do_smooth = params.use_smoothing and 0 < window < dataset.n
-
         result = ClusteringResult(
             centroids=centroids, strategy=self.strategy.name, smoothing=do_smooth
         )
         trace = DistributedTrace()
+        for step in self.run_iter(churn):
+            result.history.append(step.stats)
+            trace.agreement.append(step.agreement)
+            trace.exchanges_per_node.append(step.exchanges_per_node)
+            result.converged = step.converged
+            centroids = step.centroids
+        result.centroids = centroids
+        return result, trace
+
+    def run_iter(
+        self, churn: float = 0.0, start_iteration: int = 1
+    ) -> Iterator[ProtocolStep]:
+        """Algorithm 1 as a generator of per-iteration steps (both planes).
+
+        Yields one :class:`ProtocolStep` per completed iteration — the
+        streaming primitive for progress reporting, early stopping, and
+        (on the vectorized plane) checkpointing.  ``start_iteration``
+        resumes mid-run: budget charges for the prefix are replayed
+        (deterministic) and the caller is expected to have restored
+        ``initial_centroids`` and the RNG state from a checkpoint.  On the
+        object plane the backend is released when the generator finishes
+        or is closed.
+        """
+        if self.params.protocol_plane == "vectorized":
+            yield from self._iter_vectorized(churn, start_iteration)
+        else:
+            try:
+                yield from self._iter_object(churn, start_iteration)
+            finally:
+                self.close()
+
+    def _charged_accountant(self, start_iteration: int) -> PrivacyAccountant:
+        """An accountant with the resumed prefix already charged."""
+        accountant = PrivacyAccountant(epsilon_budget=self.strategy.epsilon)
+        for iteration in range(1, start_iteration):
+            accountant.charge(self.strategy.epsilon_for(iteration))
+        return accountant
+
+    def _iter_object(self, churn: float, start_iteration: int) -> Iterator[ProtocolStep]:
+        params = self.params
+        dataset = self.dataset
+        accountant = self._charged_accountant(start_iteration)
+        centroids = self.initial_centroids.copy()
+        window, do_smooth = self.smoothing_plan()
         n_nu = params.noise_share_count(dataset.t)
 
-        for iteration in range(1, params.max_iterations + 1):
+        for iteration in range(start_iteration, params.max_iterations + 1):
             try:
                 epsilon_i = self.strategy.epsilon_for(iteration)
                 accountant.charge(epsilon_i)
             except BudgetExhausted:
-                break
+                return
 
             engine = GossipEngine(
                 n_nodes=dataset.t,
@@ -231,6 +288,7 @@ class ChiaroscuroRun:
                 view_size=params.view_size,
                 churn=churn,
             )
+            engine.on_cycle = self.cycle_hook
 
             # Assignment step (local, per participant).
             mean_vectors = {
@@ -258,48 +316,48 @@ class ChiaroscuroRun:
             )
             output = step.run(engine, mean_vectors)
             if not output.sums:
-                break
-            trace.agreement.append(output.agreement())
-            trace.exchanges_per_node.append(engine.mean_exchanges_per_node)
+                return
 
-            centroids, stop = self._advance_centroids(
-                result, output, centroids, iteration, epsilon_i, do_smooth, window
+            advanced = self._advance_centroids(
+                output, centroids, iteration, epsilon_i, do_smooth, window
             )
-            if stop:
-                break
+            if advanced is None:
+                return
+            stats, centroids, converged = advanced
+            yield ProtocolStep(
+                stats=stats,
+                centroids=centroids,
+                converged=converged,
+                agreement=output.agreement(),
+                exchanges_per_node=engine.mean_exchanges_per_node,
+            )
+            if converged:
+                return
 
-        result.centroids = centroids
-        return result, trace
-
-    def _run_vectorized(
-        self, churn: float
-    ) -> tuple[ClusteringResult, DistributedTrace]:
+    def _iter_vectorized(
+        self, churn: float, start_iteration: int
+    ) -> Iterator[ProtocolStep]:
         """Algorithm 1 over the struct-of-arrays plane (10⁵–10⁶ participants)."""
         params = self.params
         dataset = self.dataset
-        accountant = PrivacyAccountant(epsilon_budget=self.strategy.epsilon)
+        accountant = self._charged_accountant(start_iteration)
         centroids = self.initial_centroids.copy()
-        window = params.smoothing_window(dataset.n)
-        do_smooth = params.use_smoothing and 0 < window < dataset.n
-
-        result = ClusteringResult(
-            centroids=centroids, strategy=self.strategy.name, smoothing=do_smooth
-        )
-        trace = DistributedTrace()
+        window, do_smooth = self.smoothing_plan()
         n_nu = params.noise_share_count(dataset.t)
         tau = params.tau_count(dataset.t)
         stride = dataset.n + 1
 
-        for iteration in range(1, params.max_iterations + 1):
+        for iteration in range(start_iteration, params.max_iterations + 1):
             try:
                 epsilon_i = self.strategy.epsilon_for(iteration)
                 accountant.charge(epsilon_i)
             except BudgetExhausted:
-                break
+                return
 
             engine = VectorizedGossipEngine(
                 dataset.t, seed=self.seed + 1000 * iteration, churn=churn
             )
+            engine.on_cycle = self.cycle_hook
 
             # Assignment step (Alg. 1 l.5-6), whole population at once: the
             # t × k·(n+1) matrix whose row i carries series i in the
@@ -333,23 +391,27 @@ class ChiaroscuroRun:
             output = step.run(engine, mean_matrix)
             del mean_matrix
             if not output.sums:
-                break
-            trace.agreement.append(output.agreement())
-            trace.exchanges_per_node.append(engine.mean_exchanges_per_node)
+                return
 
-            centroids, stop = self._advance_centroids(
-                result, output, centroids, iteration, epsilon_i, do_smooth, window,
+            advanced = self._advance_centroids(
+                output, centroids, iteration, epsilon_i, do_smooth, window,
                 labels=labels,
             )
-            if stop:
-                break
-
-        result.centroids = centroids
-        return result, trace
+            if advanced is None:
+                return
+            stats, centroids, converged = advanced
+            yield ProtocolStep(
+                stats=stats,
+                centroids=centroids,
+                converged=converged,
+                agreement=output.agreement(),
+                exchanges_per_node=engine.mean_exchanges_per_node,
+            )
+            if converged:
+                return
 
     def _advance_centroids(
         self,
-        result: ClusteringResult,
         output,
         centroids: np.ndarray,
         iteration: int,
@@ -357,15 +419,17 @@ class ChiaroscuroRun:
         do_smooth: bool,
         window: int,
         labels: np.ndarray | None = None,
-    ) -> tuple[np.ndarray, bool]:
+    ) -> tuple[IterationStats, np.ndarray, bool] | None:
         """Canonical post-processing (every node does the same locally).
 
         Shared by both substrates: decode the canonical node's perturbed
-        means, drop lost clusters, smooth, record the iteration's quality
-        stats and apply the θ convergence test.  Returns the next centroids
-        plus a stop flag.  ``labels`` lets the vectorized path reuse its
-        assignment-step result instead of recomputing the t × k argmin (the
-        dominant cleartext cost at 10⁵–10⁶ participants).
+        means, drop lost clusters, smooth, measure the iteration's quality
+        stats and apply the θ convergence test.  Returns ``(stats,
+        next_centroids, converged)``, or ``None`` when every cluster was
+        lost (the run ends without a recordable iteration).  ``labels``
+        lets the vectorized path reuse its assignment-step result instead
+        of recomputing the t × k argmin (the dominant cleartext cost at
+        10⁵–10⁶ participants).
         """
         params = self.params
         dataset = self.dataset
@@ -373,7 +437,7 @@ class ChiaroscuroRun:
         means, counts = output.perturbed_means(canonical)
         survive = counts > 0.5  # counts are perturbed reals; lost below
         if not survive.any():
-            return centroids, True
+            return None
         perturbed = means[survive]
         if do_smooth:
             perturbed = sma_smooth(perturbed, window)
@@ -384,23 +448,20 @@ class ChiaroscuroRun:
         post_labels = assign_to_closest(dataset.values, perturbed)
         post = intra_inertia(dataset.values, perturbed, post_labels)
 
-        result.history.append(
-            IterationStats(
-                iteration=iteration,
-                pre_inertia=true_pre,
-                post_inertia=float(post),
-                n_centroids=int(survive.sum()),
-                epsilon_spent=epsilon_i,
-                centroids=perturbed.copy(),
-            )
+        stats = IterationStats(
+            iteration=iteration,
+            pre_inertia=true_pre,
+            post_inertia=float(post),
+            n_centroids=int(survive.sum()),
+            epsilon_spent=epsilon_i,
+            centroids=perturbed.copy(),
         )
 
+        converged = False
         if params.theta > 0 and perturbed.shape == centroids.shape:
             displacement = float(np.mean((perturbed - centroids) ** 2))
-            if displacement < params.theta:
-                result.converged = True
-                return perturbed, True
-        return perturbed, False
+            converged = displacement < params.theta
+        return stats, perturbed, converged
 
     def close(self) -> None:
         """Release backend resources (worker pools); the run can be reused —

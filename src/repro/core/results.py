@@ -32,6 +32,28 @@ class IterationStats:
     epsilon_spent: float
     centroids: np.ndarray
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict; exact float round-trip (``float`` ↔ JSON)."""
+        return {
+            "iteration": self.iteration,
+            "pre_inertia": self.pre_inertia,
+            "post_inertia": self.post_inertia,
+            "n_centroids": self.n_centroids,
+            "epsilon_spent": self.epsilon_spent,
+            "centroids": self.centroids.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "IterationStats":
+        return cls(
+            iteration=int(d["iteration"]),
+            pre_inertia=float(d["pre_inertia"]),
+            post_inertia=float(d["post_inertia"]),
+            n_centroids=int(d["n_centroids"]),
+            epsilon_spent=float(d["epsilon_spent"]),
+            centroids=np.asarray(d["centroids"], dtype=float),
+        )
+
 
 @dataclass
 class ClusteringResult:
@@ -67,3 +89,25 @@ class ClusteringResult:
     def label(self) -> str:
         """Paper-style label, e.g. ``"G_SMA"`` or ``"UF5"``."""
         return f"{self.strategy}_SMA" if self.smoothing else self.strategy
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the ``result`` half of a run record)."""
+        return {
+            "strategy": self.strategy,
+            "label": self.label,
+            "smoothing": self.smoothing,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "centroids": np.asarray(self.centroids).tolist(),
+            "history": [stats.to_dict() for stats in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClusteringResult":
+        return cls(
+            centroids=np.asarray(d["centroids"], dtype=float),
+            history=[IterationStats.from_dict(s) for s in d.get("history", [])],
+            converged=bool(d.get("converged", False)),
+            strategy=d.get("strategy", ""),
+            smoothing=bool(d.get("smoothing", False)),
+        )

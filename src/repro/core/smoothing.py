@@ -15,7 +15,20 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["sma_smooth"]
+__all__ = ["derive_sma_window", "sma_smooth"]
+
+
+def derive_sma_window(series_length: int, fraction: float = 0.2) -> int:
+    """The SMA window ``w`` for a series length (Table 2: 20 % of ``n``).
+
+    Rounded to the nearest integer, then down to even so the ±w/2 span is
+    symmetric.  This is the single source of truth for the window size —
+    both :meth:`repro.core.config.ChiaroscuroParams.smoothing_window` and
+    the quality plane derive theirs from here.  A window is *applicable*
+    only when ``0 < w < series_length``; callers gate on that.
+    """
+    w = int(round(fraction * series_length))
+    return w if w % 2 == 0 else w - 1
 
 
 def sma_smooth(means: np.ndarray, window: int) -> np.ndarray:

@@ -70,6 +70,12 @@ class GossipEngine:
         self.view_size = view_size
         self.churn = churn
         self.nodes = [Node(node_id=i) for i in range(n_nodes)]
+        self.cycles = 0
+        # Observability hook: called after every cycle with
+        # (cycle_index, exchanges_in_cycle).  Must not mutate engine state —
+        # it exists so streaming frontends (repro.api events) can report
+        # epidemic progress without changing the exchange schedule.
+        self.on_cycle = None
 
     def setup(self, *protocols: GossipProtocol) -> None:
         """Run every protocol's per-node initialization."""
@@ -89,23 +95,25 @@ class GossipEngine:
         for node in self.nodes:
             node.online = self.rng.random() >= self.churn
         online_ids = [node.node_id for node in self.nodes if node.online]
-        if len(online_ids) < 2:
-            return 0
         exchanges = 0
-        order = online_ids[:]
-        self.rng.shuffle(order)
-        for node_id in order:
-            initiator = self.nodes[node_id]
-            if not initiator.online:
-                continue
-            contact = self._draw_contact(initiator, online_ids)
-            if contact is None:
-                continue
-            for protocol in protocols:
-                protocol.exchange(initiator, contact, self.rng)
-            initiator.exchanges += 1
-            contact.exchanges += 1
-            exchanges += 1
+        if len(online_ids) >= 2:
+            order = online_ids[:]
+            self.rng.shuffle(order)
+            for node_id in order:
+                initiator = self.nodes[node_id]
+                if not initiator.online:
+                    continue
+                contact = self._draw_contact(initiator, online_ids)
+                if contact is None:
+                    continue
+                for protocol in protocols:
+                    protocol.exchange(initiator, contact, self.rng)
+                initiator.exchanges += 1
+                contact.exchanges += 1
+                exchanges += 1
+        self.cycles += 1
+        if self.on_cycle is not None:
+            self.on_cycle(self.cycles, exchanges)
         return exchanges
 
     def run_pairing_cycle(

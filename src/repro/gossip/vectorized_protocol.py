@@ -71,6 +71,10 @@ class VectorizedGossipEngine:
         self.churn = churn
         self.exchanges = np.zeros(population, dtype=np.int64)
         self.online = np.ones(population, dtype=bool)
+        self.cycles = 0
+        # Observability hook: called after every cycle with
+        # (cycle_index, exchanges_in_cycle); must not consume engine RNG.
+        self.on_cycle = None
 
     def draw_pairing(self) -> tuple[np.ndarray, np.ndarray]:
         """Redraw the online mask, then pair the online nodes uniformly.
@@ -105,6 +109,9 @@ class VectorizedGossipEngine:
         """One cycle: churn redraw, pairing, exchanges.  Returns the pairing."""
         left, right = self.draw_pairing()
         self.run_pairing_cycle(left, right, *protocols)
+        self.cycles += 1
+        if self.on_cycle is not None:
+            self.on_cycle(self.cycles, len(left))
         return left, right
 
     def run_cycles(self, cycles: int, *protocols: VectorizedProtocol) -> int:

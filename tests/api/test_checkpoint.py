@@ -1,0 +1,147 @@
+"""Checkpoint/resume: kill-and-resume must be bit-identical to an
+uninterrupted seeded run (the acceptance criterion of the checkpoint
+subsystem), on both checkpointable planes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Checkpoint,
+    CheckpointSaved,
+    CheckpointStore,
+    Experiment,
+    RunCompleted,
+    RunSpec,
+)
+
+
+def spec_for(plane: str = "quality", seed: int = 13) -> RunSpec:
+    return RunSpec.from_dict({
+        "plane": plane,
+        "seed": seed,
+        "strategy": "G",
+        "dataset": {"kind": "cer",
+                    "params": {"n_series": 250, "population_scale": 100}},
+        "init": {"kind": "courbogen"},
+        # ε = 50: generous enough that clusters survive all 5 iterations on
+        # both planes at this 250-node test scale (bit-identity is about
+        # RNG-stream equality, not the paper's privacy calibration)
+        "params": {"k": 4, "max_iterations": 5, "epsilon": 50.0,
+                   "exchanges": 10, "theta": 0.0},
+    })
+
+
+def run_interrupted(spec, directory, kill_after: int):
+    """Drive run_iter and abandon it after ``kill_after`` checkpoints."""
+    saved = 0
+    for event in Experiment.from_spec(spec).run_iter(checkpoint_dir=directory):
+        if isinstance(event, CheckpointSaved):
+            saved += 1
+            if saved >= kill_after:
+                return  # the "kill": generator is simply dropped
+
+
+def assert_bit_identical(a, b):
+    assert a.iterations == b.iterations
+    assert a.converged == b.converged
+    assert np.array_equal(a.centroids, b.centroids)
+    for x, y in zip(a.history, b.history):
+        assert x.iteration == y.iteration
+        assert x.pre_inertia == y.pre_inertia
+        assert x.post_inertia == y.post_inertia
+        assert x.n_centroids == y.n_centroids
+        assert x.epsilon_spent == y.epsilon_spent
+        assert np.array_equal(x.centroids, y.centroids)
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("plane", ["quality", "vectorized"])
+    @pytest.mark.parametrize("kill_after", [1, 3])
+    def test_resume_bit_identical(self, tmp_path, plane, kill_after):
+        spec = spec_for(plane)
+        uninterrupted = Experiment.from_spec(spec).run()
+        assert uninterrupted.iterations == 5
+
+        directory = str(tmp_path / f"{plane}-{kill_after}")
+        run_interrupted(spec, directory, kill_after)
+        assert len(CheckpointStore(directory).iterations()) == kill_after
+
+        resumed = Experiment.from_spec(spec).run(checkpoint_dir=directory)
+        assert_bit_identical(resumed, uninterrupted)
+
+    def test_resume_with_churn_bit_identical(self, tmp_path):
+        spec = spec_for("quality").replace(churn=0.25)
+        uninterrupted = Experiment.from_spec(spec).run()
+        directory = str(tmp_path / "churn")
+        run_interrupted(spec, directory, 2)
+        resumed = Experiment.from_spec(spec).run(checkpoint_dir=directory)
+        assert_bit_identical(resumed, uninterrupted)
+
+    def test_resume_past_completion_is_a_no_op(self, tmp_path):
+        spec = spec_for("quality")
+        directory = str(tmp_path / "done")
+        full = Experiment.from_spec(spec).run(checkpoint_dir=directory)
+        again = Experiment.from_spec(spec).run(checkpoint_dir=directory)
+        assert_bit_identical(again, full)
+
+    def test_resume_after_convergence_does_not_iterate_further(self, tmp_path):
+        spec = spec_for("quality").replace(
+            params=spec_for("quality").params.__class__(
+                k=4, max_iterations=8, epsilon=1e6, theta=1e3, exchanges=10
+            )
+        )
+        directory = str(tmp_path / "conv")
+        full = Experiment.from_spec(spec).run(checkpoint_dir=directory)
+        assert full.converged
+        resumed = Experiment.from_spec(spec).run(checkpoint_dir=directory)
+        assert_bit_identical(resumed, full)
+
+
+class TestCheckpointHygiene:
+    def test_checkpoint_json_round_trip(self, tmp_path):
+        spec = spec_for("quality")
+        directory = str(tmp_path / "rt")
+        run_interrupted(spec, directory, 2)
+        store = CheckpointStore(directory)
+        checkpoint = store.latest()
+        assert checkpoint.iteration == 2
+        assert checkpoint.spec == spec.to_dict()
+        again = Checkpoint.from_json(checkpoint.to_json())
+        assert again == checkpoint
+
+    def test_spec_mismatch_refuses_resume(self, tmp_path):
+        directory = str(tmp_path / "mismatch")
+        run_interrupted(spec_for("quality", seed=13), directory, 1)
+        other = spec_for("quality", seed=14)
+        with pytest.raises(ValueError, match="different spec"):
+            Experiment.from_spec(other).run(checkpoint_dir=directory)
+
+    def test_no_resume_flag_restarts(self, tmp_path):
+        spec = spec_for("quality")
+        directory = str(tmp_path / "restart")
+        run_interrupted(spec, directory, 1)
+        fresh = Experiment.from_spec(spec).run(checkpoint_dir=directory, resume=False)
+        assert_bit_identical(fresh, Experiment.from_spec(spec).run())
+
+    def test_object_plane_rejects_checkpointing(self, tmp_path):
+        spec = RunSpec.from_dict({
+            **spec_for("quality").to_dict(), "plane": "object",
+        })
+        with pytest.raises(ValueError, match="does not support checkpoint"):
+            list(Experiment.from_spec(spec).run_iter(
+                checkpoint_dir=str(tmp_path / "obj")
+            ))
+
+    def test_rng_state_survives_json_exactly(self, tmp_path):
+        """PCG64 state ints are 128-bit; JSON must carry them exactly."""
+        spec = spec_for("quality")
+        directory = str(tmp_path / "state")
+        run_interrupted(spec, directory, 1)
+        checkpoint = CheckpointStore(directory).latest()
+        state = checkpoint.rng_state
+        assert state["bit_generator"] == "PCG64"
+        rng = np.random.default_rng(0)
+        rng.bit_generator.state = state  # restoring must be lossless
+        assert rng.bit_generator.state["state"] == state["state"]

@@ -1,0 +1,187 @@
+"""``RunSpec`` validation and JSON round-trips (spec → dict → JSON → spec)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import DATASETS, PLANES, DatasetSpec, InitSpec, RunSpec
+from repro.cli import build_parser
+from repro.core import ChiaroscuroParams
+
+BASE = {
+    "plane": "quality",
+    "seed": 7,
+    "strategy": "G",
+    "dataset": {"kind": "cer", "params": {"n_series": 100}},
+    "init": {"kind": "courbogen"},
+    "params": {"k": 5, "epsilon": 0.69},
+}
+
+INIT_FOR_DATASET = {
+    "cer": {"kind": "courbogen"},
+    "numed": {"kind": "sample"},
+    "points2d": {"kind": "sample"},
+    "timeseries": {"kind": "matrix",
+                   "params": {"values": [[1.0, 2.0], [3.0, 4.0]]}},
+}
+DATASET_PARAMS = {
+    "cer": {"n_series": 100},
+    "numed": {"n_series": 100},
+    "points2d": {"n_clusters": 4, "points_per_cluster": 10},
+    "timeseries": {"values": [[0.0, 1.0], [2.0, 3.0], [1.0, 1.0]],
+                   "dmin": 0.0, "dmax": 4.0},
+}
+
+
+def spec_dict(**overrides) -> dict:
+    d = json.loads(json.dumps(BASE))
+    d.update(overrides)
+    return d
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("plane", sorted(PLANES.keys()))
+    def test_round_trip_every_plane(self, plane):
+        spec = RunSpec.from_dict(spec_dict(plane=plane))
+        assert spec.plane == plane
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("kind", sorted(DATASETS.keys()))
+    def test_round_trip_every_dataset(self, kind):
+        spec = RunSpec.from_dict(spec_dict(
+            dataset={"kind": kind, "params": DATASET_PARAMS[kind]},
+            init=INIT_FOR_DATASET[kind],
+            params={"k": 2 if kind == "timeseries" else 5, "epsilon": 0.69},
+        ))
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("strategy", ["G", "GF", "UF", "UF5", "UF10"])
+    def test_round_trip_every_strategy(self, strategy):
+        spec = RunSpec.from_dict(spec_dict(strategy=strategy))
+        roundtripped = RunSpec.from_json(spec.to_json())
+        assert roundtripped == spec
+        assert roundtripped.strategy == strategy
+
+    def test_round_trip_preserves_full_params_sheet(self):
+        spec = RunSpec.from_dict(spec_dict(params={
+            "k": 9, "epsilon": 1.5, "max_iterations": 3, "exchanges": 17,
+            "tau_fraction": 0.25, "smoothing_fraction": 0.1,
+            "use_smoothing": False, "floor_size": 2, "theta": 0.01,
+        }))
+        again = RunSpec.from_json(spec.to_json())
+        assert again.params == spec.params
+        assert isinstance(again.params, ChiaroscuroParams)
+
+    def test_save_and_load(self, tmp_path):
+        spec = RunSpec.from_dict(spec_dict(name="disk-trip", churn=0.1))
+        path = spec.save(tmp_path / "spec.json")
+        assert RunSpec.load(path) == spec
+
+    def test_tuple_params_normalize_to_lists(self):
+        a = DatasetSpec(kind="cer", params={"values": (1, 2, 3)})
+        b = DatasetSpec(kind="cer", params={"values": [1, 2, 3]})
+        assert a == b
+
+
+class TestPlanePivot:
+    def test_same_spec_modulo_plane(self):
+        base = RunSpec.from_dict(spec_dict())
+        vectorized = base.with_plane("vectorized")
+        assert vectorized.params.protocol_plane == "vectorized"
+        # everything but the plane/protocol_plane fields is unchanged
+        a, b = base.to_dict(), vectorized.to_dict()
+        a["plane"] = b["plane"] = "X"
+        a["params"]["protocol_plane"] = b["params"]["protocol_plane"] = "X"
+        assert a == b
+
+    def test_inconsistent_protocol_plane_rejected(self):
+        with pytest.raises(ValueError, match="protocol_plane"):
+            RunSpec(
+                dataset=DatasetSpec("cer"),
+                init=InitSpec("courbogen"),
+                params=ChiaroscuroParams(protocol_plane="object"),
+                plane="vectorized",
+            )
+
+
+class TestValidation:
+    def test_unknown_plane(self):
+        with pytest.raises(ValueError, match="unknown plane"):
+            RunSpec.from_dict(spec_dict(plane="gpu"))
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            RunSpec.from_dict(spec_dict(dataset={"kind": "nope"}))
+
+    def test_unknown_initializer(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            RunSpec.from_dict(spec_dict(init={"kind": "nope"}))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            RunSpec.from_dict(spec_dict(strategy="Z9"))
+
+    def test_bad_params_key(self):
+        with pytest.raises(ValueError, match="params"):
+            RunSpec.from_dict(spec_dict(params={"k": 5, "warp_speed": 9}))
+
+    def test_churn_range(self):
+        with pytest.raises(ValueError, match="churn"):
+            RunSpec.from_dict(spec_dict(churn=1.0))
+
+    def test_typoed_options_key_rejected(self):
+        with pytest.raises(ValueError, match="sensitivty_mode"):
+            RunSpec.from_dict(spec_dict(options={"sensitivty_mode": "joint"}))
+
+    def test_known_options_keys_accepted_on_any_plane(self):
+        # quality-plane keys stay valid on a protocol plane so one spec
+        # can pivot planes; the plane simply ignores them
+        spec = RunSpec.from_dict(spec_dict(
+            plane="vectorized", options={"sensitivity_mode": "joint"}
+        ))
+        assert spec.options == {"sensitivity_mode": "joint"}
+
+    def test_default_strategy_from_params(self):
+        d = spec_dict()
+        del d["strategy"]
+        d["params"]["budget_strategy"] = "GF"
+        assert RunSpec.from_dict(d).strategy == "GF"
+
+
+class TestFromCliArgs:
+    def _args(self, *argv):
+        return build_parser().parse_args(["cluster", *argv])
+
+    def test_defaults_map_to_quality_plane(self):
+        spec = RunSpec.from_cli_args(self._args())
+        assert spec.plane == "quality"
+        assert spec.dataset.kind == "cer"
+        assert spec.dataset.params == {"n_series": 10_000, "population_scale": 100}
+        assert spec.init.kind == "courbogen"
+        assert spec.strategy == "G"
+        assert spec.params.theta == 0.0  # Fig. 2 setting: no convergence test
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_flags_map_through(self):
+        spec = RunSpec.from_cli_args(self._args(
+            "--dataset", "numed", "--series", "500", "--scale", "10",
+            "--k", "7", "--strategy", "uf4", "--epsilon", "1.2",
+            "--iterations", "6", "--no-smoothing", "--churn", "0.2",
+            "--seed", "11", "--plane", "vectorized",
+        ))
+        assert spec.dataset.params == {"n_series": 500, "population_scale": 10}
+        assert spec.init.kind == "sample"
+        assert spec.params.k == 7
+        assert spec.strategy == "UF4"
+        assert spec.params.epsilon == 1.2
+        assert spec.params.use_smoothing is False
+        assert spec.churn == 0.2
+        assert spec.seed == 11
+        assert spec.plane == "vectorized"
+        assert spec.params.protocol_plane == "vectorized"
+
+    def test_timeseries_needs_spec_file(self):
+        with pytest.raises(ValueError, match="--spec"):
+            RunSpec.from_cli_args(self._args("--dataset", "timeseries"))

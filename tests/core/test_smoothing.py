@@ -64,3 +64,64 @@ class TestSMA:
         direct = np.roll(sma_smooth(means, 4), shift, axis=1)
         shifted = sma_smooth(np.roll(means, shift, axis=1), 4)
         assert np.allclose(direct, shifted, atol=1e-9)
+
+
+class TestDeriveWindow:
+    """Regression: one shared SMA-window derivation for every plane.
+
+    ``perturbed_kmeans`` used to re-implement the Table 2 window inline
+    with a different guard (``n > window`` vs protocol.py's
+    ``0 < window < n``); both now route through
+    :func:`repro.core.derive_sma_window` and the unified gate.  These
+    tests pin the derivation — and the quality plane's behavior at short
+    series lengths — to the historical values.
+    """
+
+    def test_matches_historical_inline_derivation(self):
+        from repro.core import derive_sma_window
+
+        for n in range(1, 101):
+            w = int(round(0.2 * n))
+            expected = w if w % 2 == 0 else w - 1  # the old inline code
+            assert derive_sma_window(n) == expected, n
+
+    def test_params_method_delegates(self):
+        from repro.core import ChiaroscuroParams, derive_sma_window
+
+        params = ChiaroscuroParams(smoothing_fraction=0.3)
+        for n in (1, 5, 6, 24, 47):
+            assert params.smoothing_window(n) == derive_sma_window(n, 0.3)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8, 12, 24])
+    def test_quality_plane_short_series_behavior_pinned(self, n):
+        """At short lengths the derived window collapses to 0 (< 8) or 2;
+        the run must apply smoothing exactly when 0 < w < n — identical to
+        the old ``dataset.n > smoothing_window`` guard."""
+        from repro.core import derive_sma_window, perturbed_kmeans
+        from repro.datasets import TimeSeriesSet
+        from repro.privacy import UniformFast
+
+        rng = np.random.default_rng(n)
+        values = np.clip(rng.normal(10.0, 2.0, size=(40, n)), 0.0, 20.0)
+        dataset = TimeSeriesSet(values, 0.0, 20.0)
+        init = np.clip(rng.normal(10.0, 2.0, size=(2, n)), 0.0, 20.0)
+
+        result = perturbed_kmeans(
+            dataset, init, UniformFast(100.0, 1), max_iterations=1,
+            rng=np.random.default_rng(0),
+        )
+        window = derive_sma_window(n)
+        assert result.smoothing is (0 < window < n)
+
+        # Bit-for-bit: smoothing on vs off must split exactly at w = 0,
+        # i.e. the smoothed run equals an explicitly-unsmoothed run iff
+        # the derived window is inapplicable.
+        from repro.core import PerturbationOptions
+
+        unsmoothed = perturbed_kmeans(
+            dataset, init, UniformFast(100.0, 1), max_iterations=1,
+            options=PerturbationOptions(smoothing=False),
+            rng=np.random.default_rng(0),
+        )
+        same = np.array_equal(result.centroids, unsmoothed.centroids)
+        assert same is not (0 < window < n)

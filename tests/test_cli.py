@@ -1,9 +1,11 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -17,10 +19,26 @@ class TestParser:
         assert args.dataset == "cer"
         assert args.strategy == "G"
         assert args.epsilon == 0.69
+        assert args.plane is None
+        assert args.spec is None
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_no_args_prints_help_and_exits_2(self):
+        out = io.StringIO()
+        code = main([], out=out)
+        assert code == 2
+        text = out.getvalue()
+        assert "usage: repro" in text
+        assert "cluster" in text and "plan" in text and "costs" in text
 
 
 class TestCommands:
@@ -74,3 +92,93 @@ class TestCommands:
         )
         assert code == 0
         assert "strategy=G " in out.getvalue() or "strategy=G\n" in out.getvalue()
+
+
+class TestSpecDrivenRuns:
+    def _write_spec(self, tmp_path, plane="quality"):
+        from repro.api import RunSpec
+
+        spec = RunSpec.from_dict({
+            "plane": plane,
+            "seed": 5,
+            "strategy": "UF2",
+            "dataset": {"kind": "cer",
+                        "params": {"n_series": 300, "population_scale": 100}},
+            "init": {"kind": "courbogen"},
+            "params": {"k": 4, "max_iterations": 3, "epsilon": 0.69,
+                       "theta": 0.0, "key_bits": 256},
+        })
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        return path
+
+    def test_cluster_from_spec_file(self, tmp_path):
+        out = io.StringIO()
+        code = main(["cluster", "--spec", str(self._write_spec(tmp_path))], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "strategy=UF2_SMA" in text
+        assert "plane=quality" in text
+
+    def test_cluster_spec_plane_override(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["cluster", "--spec", str(self._write_spec(tmp_path)),
+             "--plane", "vectorized"],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "plane=vectorized" in text
+        assert "exch/node" in text
+
+    def test_cluster_checkpoint_and_json_out(self, tmp_path):
+        spec_path = self._write_spec(tmp_path)
+        ckpt_dir = tmp_path / "ckpt"
+        json_out = tmp_path / "result.json"
+        out = io.StringIO()
+        code = main(
+            ["cluster", "--spec", str(spec_path),
+             "--checkpoint-dir", str(ckpt_dir), "--json-out", str(json_out)],
+            out=out,
+        )
+        assert code == 0
+        checkpoints = sorted(ckpt_dir.glob("checkpoint_*.json"))
+        assert len(checkpoints) == 2  # UF2 bound
+
+        record = json.loads(json_out.read_text())
+        assert record["schema"] == "chiaroscuro-run/v1"
+        assert record["spec"]["strategy"] == "UF2"
+        assert len(record["result"]["history"]) == 2
+        assert record["timings"]["wall_seconds"] > 0
+
+        # Running again resumes (nothing left to do) and reports the
+        # checkpointed history unchanged.
+        out2 = io.StringIO()
+        code = main(
+            ["cluster", "--spec", str(spec_path),
+             "--checkpoint-dir", str(ckpt_dir)],
+            out=out2,
+        )
+        assert code == 0
+        assert "resuming after iteration 2" in out2.getvalue()
+
+    def test_checkpoint_spec_mismatch_is_a_clean_error(self, tmp_path):
+        spec_path = self._write_spec(tmp_path)
+        ckpt_dir = tmp_path / "ckpt"
+        assert main(
+            ["cluster", "--spec", str(spec_path),
+             "--checkpoint-dir", str(ckpt_dir)],
+            out=io.StringIO(),
+        ) == 0
+        # Same checkpoint dir, different experiment: refusal message +
+        # exit code 2, not a traceback.
+        out = io.StringIO()
+        code = main(
+            ["cluster", "--spec", str(spec_path), "--plane", "vectorized",
+             "--checkpoint-dir", str(ckpt_dir)],
+            out=out,
+        )
+        assert code == 2
+        assert "error:" in out.getvalue()
+        assert "different spec" in out.getvalue()
