@@ -9,6 +9,10 @@ Machine-readable telemetry rides along: :func:`record_json` writes
 ``benchmarks/out/BENCH_<name>.json`` with the bench's structured results
 wrapped in a common envelope (git revision, python version, timestamp), so
 the perf trajectory is trackable across PRs by diffing the JSON files.
+Each file is *also* mirrored to ``BENCH_<name>.json`` at the repository
+root — the copy that gets committed/uploaded, so the perf trajectory is
+visible in the tree itself (and diffable between PRs) without digging
+into CI artifacts.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import time
 
 _REPORTS: list[tuple[str, list[str]]] = []
 _OUT_DIR = pathlib.Path(__file__).parent / "out"
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def record_report(name: str, title: str, lines: list[str]) -> None:
@@ -50,6 +55,10 @@ def record_json(name: str, data: dict) -> None:
     measured tables); the envelope adds provenance so a stored file is
     self-describing.  Keys must be JSON-serializable — numpy scalars should
     be converted by the caller (``float``/``int``).
+
+    The file is mirrored to the repository root (``BENCH_<name>.json``) so
+    the cross-PR perf trajectory lives in the tree, not only in CI
+    artifacts.
     """
     _OUT_DIR.mkdir(exist_ok=True)
     envelope = {
@@ -60,7 +69,9 @@ def record_json(name: str, data: dict) -> None:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "data": data,
     }
-    (_OUT_DIR / f"BENCH_{name}.json").write_text(json.dumps(envelope, indent=2) + "\n")
+    payload = json.dumps(envelope, indent=2) + "\n"
+    (_OUT_DIR / f"BENCH_{name}.json").write_text(payload)
+    (_REPO_ROOT / f"BENCH_{name}.json").write_text(payload)
 
 
 def record_runs(name: str, runs: list[dict], extra: dict | None = None) -> None:

@@ -45,6 +45,7 @@ from .experiment import (
     Experiment,
     PlaneStep,
     RunContext,
+    run_environment,
     run_record,
 )
 from .registry import (
@@ -89,5 +90,6 @@ __all__ = [
     "register_plane",
     "register_strategy",
     "resolve_strategy",
+    "run_environment",
     "run_record",
 ]

@@ -236,6 +236,7 @@ class ObjectPlane(_ProtocolPlane):
     """
 
     supports_checkpoint = False
+    uses_real_crypto = True
 
     def run_iter(
         self,

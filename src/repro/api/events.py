@@ -41,6 +41,9 @@ class RunStarted:
     population: int  # effective individuals (t × population_scale)
     sum_sensitivity: float
     resumed_iteration: int = 0  # 0 = fresh run; i = resuming after iteration i
+    crypto_backend: str = "serial"  # ciphertext-batch executor (params sheet)
+    bigint_backend: str = "python"  # *resolved* arithmetic kernel, never "auto"
+    key_bits: int = 0  # threshold-key modulus size (0 = no real crypto ran)
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ import numpy as np
 
 from ..core.config import ChiaroscuroParams
 from ..core.perturbed_kmeans import PerturbationOptions, iter_perturbed_kmeans
+from ..crypto import bigint
 from ..core.protocol import ChiaroscuroRun
 from ..core.results import ClusteringResult, IterationStats
 from ..datasets.timeseries import TimeSeriesSet
@@ -57,12 +58,40 @@ __all__ = [
     "PlaneStep",
     "RunContext",
     "RESULT_SCHEMA",
+    "run_environment",
     "run_record",
 ]
 
 #: Schema tag shared by every structured result emitted by the CLI and the
 #: benchmark suite (see :func:`run_record`).
 RESULT_SCHEMA = "chiaroscuro-run/v1"
+
+
+def run_environment(spec: RunSpec) -> dict:
+    """The crypto execution environment a spec resolves to, for telemetry.
+
+    ``bigint_backend`` is the *concrete* kernel — never ``"auto"`` itself:
+    an explicit spec choice is resolved (and validated), while ``auto``
+    reports the process's active kernel, matching what ``ChiaroscuroRun``
+    executes with — so a stored record states which arithmetic actually
+    ran.
+    ``key_bits`` is the threshold-key modulus size on planes that build
+    genuine ciphertexts (``ExecutionPlane.uses_real_crypto`` — the
+    ``object`` built-in); planes running no real crypto record
+    ``key_bits = 0``.
+    """
+    requested = spec.params.bigint_backend
+    return {
+        "crypto_backend": spec.params.crypto_backend,
+        "bigint_backend": (
+            bigint.active_backend()
+            if requested == "auto"
+            else bigint.resolve_backend(requested)
+        ),
+        "key_bits": (
+            spec.params.key_bits if PLANES.get(spec.plane).uses_real_crypto else 0
+        ),
+    }
 
 
 @dataclass
@@ -96,6 +125,10 @@ class ExecutionPlane:
 
     key: str = ""
     supports_checkpoint: bool = False
+    #: Whether runs on this plane build genuine ciphertexts (and therefore
+    #: a threshold key of ``params.key_bits``); drives the ``key_bits``
+    #: field of :func:`run_environment`.
+    uses_real_crypto: bool = False
     #: ``RunSpec.options`` keys this plane consumes.  Spec validation
     #: rejects keys no registered plane declares (typo protection), while
     #: a plane ignores other planes' keys so one spec can pivot planes.
@@ -114,6 +147,30 @@ class ExecutionPlane:
             raise ValueError(
                 f"plane {self.key!r} does not support checkpoint/resume"
             )
+
+
+#: ``ChiaroscuroParams`` fields documented as result-neutral (bit-identical
+#: runs for the same seed): pure execution-speed knobs.
+_RESULT_NEUTRAL_PARAMS = frozenset(
+    {"bigint_backend", "crypto_backend", "backend_workers"}
+)
+
+
+def _spec_identity(spec_dict: dict) -> dict:
+    """A spec dict with result-neutral knobs stripped, for checkpoint
+    compatibility checks.
+
+    The bigint kernel and the execution backend are pure speed knobs
+    (bit-identical outputs), so a run may legitimately resume its own
+    checkpoint under a different kernel/backend/worker count — and
+    checkpoints written before a knob existed must keep resuming.
+    """
+    identity = dict(spec_dict)
+    identity["params"] = {
+        k: v for k, v in spec_dict.get("params", {}).items()
+        if k not in _RESULT_NEUTRAL_PARAMS
+    }
+    return identity
 
 
 def _dataset_cache_key(kind: str, params: dict, seed: int) -> str:
@@ -222,7 +279,9 @@ class Experiment:
             store = CheckpointStore(checkpoint_dir)
             if resume:
                 checkpoint = store.latest()
-                if checkpoint is not None and checkpoint.spec != spec.to_dict():
+                if checkpoint is not None and _spec_identity(
+                    checkpoint.spec
+                ) != _spec_identity(spec.to_dict()):
                     raise ValueError(
                         f"checkpoint in {store.directory} was written by a "
                         "different spec; refusing to resume (clear the "
@@ -245,6 +304,7 @@ class Experiment:
         else:
             final_centroids = ctx.initial_centroids
 
+        environment = run_environment(spec)
         yield RunStarted(
             spec=spec,
             label=self.label(),
@@ -254,6 +314,9 @@ class Experiment:
             population=ctx.dataset.population,
             sum_sensitivity=ctx.dataset.sum_sensitivity,
             resumed_iteration=checkpoint.iteration if checkpoint else 0,
+            crypto_backend=environment["crypto_backend"],
+            bigint_backend=environment["bigint_backend"],
+            key_bits=environment["key_bits"],
         )
 
         converged = checkpoint.converged if checkpoint is not None else False
@@ -327,16 +390,27 @@ def run_record(
     result: ClusteringResult,
     timings: dict | None = None,
     extra: dict | None = None,
+    environment: dict | None = None,
 ) -> dict:
     """The canonical structured record of one run (``chiaroscuro-run/v1``).
 
     Every structured emitter — ``repro cluster --json-out``, the benchmark
     suite's ``record_runs`` — wraps runs in this one schema so BENCH/result
-    JSON files are diffable across PRs and tools.
+    JSON files are diffable across PRs and tools.  The ``environment``
+    block makes each record self-describing: which crypto execution
+    backend, which *resolved* bigint kernel, and what key size produced
+    it.  Pass ``environment`` captured at run time (the ``RunStarted``
+    event carries the same three fields) when recording long after the
+    run — the default re-resolves via :func:`run_environment`, which for
+    an ``"auto"`` spec reports the kernel active *now*, not necessarily
+    the one that ran.
     """
     record = {
         "schema": RESULT_SCHEMA,
         "spec": spec.to_dict(),
+        "environment": (
+            dict(environment) if environment is not None else run_environment(spec)
+        ),
         "result": result.to_dict(),
         "timings": dict(timings or {}),
     }

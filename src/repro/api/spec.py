@@ -245,6 +245,7 @@ class RunSpec:
             budget_strategy=args.strategy.upper(),
             use_smoothing=not args.no_smoothing,
             key_bits=args.key_bits,
+            bigint_backend=getattr(args, "bigint_backend", None) or "auto",
             theta=0.0,
         )
         if plane in PROTOCOL_PLANES:

@@ -29,6 +29,7 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 
 from . import __version__
 from .api import DATASETS, PLANES
@@ -70,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--key-bits", type=int, default=256,
                          help="threshold-key modulus for --plane object "
                               "(flag-built specs only; Table 2 uses 1024)")
+    cluster.add_argument("--bigint-backend", choices=("auto", "python", "gmpy2"),
+                         default=None,
+                         help="modular-arithmetic kernel (default: auto = "
+                              "REPRO_BIGINT_BACKEND, else gmpy2 when "
+                              "installed; bit-identical either way). "
+                              "Overrides the spec's bigint_backend too")
     cluster.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                          help="write a resumable checkpoint after every "
                               "iteration; an existing matching checkpoint "
@@ -93,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
     costs.add_argument("--length", type=int, default=20)
     costs.add_argument("--measure", action="store_true",
                        help="also measure real crypto wall-times (slow)")
+    costs.add_argument("--bigint-backend", choices=("auto", "python", "gmpy2"),
+                       default="auto",
+                       help="modular-arithmetic kernel for --measure")
     return parser
 
 
@@ -106,6 +116,10 @@ def _cmd_cluster(args, out) -> int:
                 spec = spec.with_plane(args.plane)
         else:
             spec = RunSpec.from_cli_args(args)
+        if args.bigint_backend and args.bigint_backend != spec.params.bigint_backend:
+            spec = spec.replace(
+                params=replace(spec.params, bigint_backend=args.bigint_backend)
+            )
         return _run_cluster(args, spec, out)
     except ValueError as exc:
         # Spec validation and checkpoint refusals (e.g. "written by a
@@ -127,17 +141,23 @@ def _run_cluster(args, spec, out) -> int:
 
     experiment = Experiment.from_spec(spec)
     result = None
+    environment = None
     started = time.perf_counter()
     header_printed = False
     for event in experiment.run_iter(
         checkpoint_dir=args.checkpoint_dir, resume=not args.no_resume
     ):
         if isinstance(event, RunStarted):
+            environment = {
+                "crypto_backend": event.crypto_backend,
+                "bigint_backend": event.bigint_backend,
+                "key_bits": event.key_bits,
+            }
             print(f"dataset={event.dataset_name} t={event.t} n={event.n} "
                   f"population={event.population:,} "
                   f"sensitivity={event.sum_sensitivity:.0f}", file=out)
-            print(f"strategy={event.label} plane={spec.plane} seed={spec.seed}",
-                  file=out)
+            print(f"strategy={event.label} plane={spec.plane} seed={spec.seed} "
+                  f"bigint={event.bigint_backend}", file=out)
             if event.resumed_iteration:
                 print(f"resuming after iteration {event.resumed_iteration} "
                       f"(checkpoint in {args.checkpoint_dir})", file=out)
@@ -169,7 +189,8 @@ def _run_cluster(args, spec, out) -> int:
         print(f"checkpoints in {args.checkpoint_dir} "
               f"(resume with the same command)", file=out)
     if args.json_out:
-        record = run_record(spec, result, timings={"wall_seconds": elapsed})
+        record = run_record(spec, result, timings={"wall_seconds": elapsed},
+                            environment=environment)
         with open(args.json_out, "w") as fh:
             json.dump(record, fh, indent=2)
             fh.write("\n")
@@ -198,25 +219,35 @@ def _cmd_costs(args, out) -> int:
     import random
 
     from .analysis import LocalCostModel, measure_crypto_costs
-    from .crypto import generate_threshold_keypair
+    from .crypto import bigint, generate_threshold_keypair
 
-    keypair = generate_threshold_keypair(
-        args.key_bits, n_shares=5, threshold=3, rng=random.Random(0)
-    )
-    model = LocalCostModel(keypair.public, k=args.k, series_length=args.length)
-    print(f"key: {args.key_bits} bits, ciphertext {keypair.public.ciphertext_bytes} B",
-          file=out)
-    print(f"means set ({args.k} × ({args.length}+1) ciphertexts): "
-          f"{model.transfer_bytes / 1024:.1f} kB", file=out)
-    print(f"sum exchange: {model.exchange_bytes() / 1024:.1f} kB; "
-          f"decryption exchange: {model.decryption_exchange_bytes() / 1024:.1f} kB",
-          file=out)
-    print(f"transfer at 1 Mb/s: {model.transfer_seconds():.2f} s", file=out)
-    if args.measure:
-        costs = measure_crypto_costs(keypair, k=args.k, series_length=args.length,
-                                     repetitions=1)
-        for op, sample in costs.items():
-            print(f"{op:>8}: avg {sample.average:.3f} s", file=out)
+    try:
+        backend = bigint.resolve_backend(args.bigint_backend)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    # Scoped selection (restored on exit) — a `costs` invocation must not
+    # flip the process-global kernel for whatever runs next.
+    with bigint.use_backend(backend):
+        keypair = generate_threshold_keypair(
+            args.key_bits, n_shares=5, threshold=3, rng=random.Random(0)
+        )
+        model = LocalCostModel(keypair.public, k=args.k, series_length=args.length)
+        print(f"key: {args.key_bits} bits, ciphertext {keypair.public.ciphertext_bytes} B",
+              file=out)
+        print(f"means set ({args.k} × ({args.length}+1) ciphertexts): "
+              f"{model.transfer_bytes / 1024:.1f} kB", file=out)
+        print(f"sum exchange: {model.exchange_bytes() / 1024:.1f} kB; "
+              f"decryption exchange: {model.decryption_exchange_bytes() / 1024:.1f} kB",
+              file=out)
+        print(f"transfer at 1 Mb/s: {model.transfer_seconds():.2f} s", file=out)
+        if args.measure:
+            print(f"measuring with bigint backend: {backend}", file=out)
+            costs = measure_crypto_costs(keypair, k=args.k,
+                                         series_length=args.length,
+                                         repetitions=1)
+            for op, sample in costs.items():
+                print(f"{op:>8}: avg {sample.average:.3f} s", file=out)
     return 0
 
 

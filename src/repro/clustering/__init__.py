@@ -10,6 +10,7 @@ from .dtw import (
     dtw_distance,
     dtw_pairwise,
     dtw_path,
+    lb_keogh,
 )
 from .inertia import dataset_inertia, inertia_report, inter_inertia, intra_inertia
 from .init import kmeanspp_init, sample_init, template_init, uniform_init
@@ -30,6 +31,7 @@ __all__ = [
     "inter_inertia",
     "intra_inertia",
     "kmeanspp_init",
+    "lb_keogh",
     "lloyd_kmeans",
     "pairwise_sq_euclidean",
     "sample_init",

@@ -11,7 +11,11 @@ targets.  We provide:
   batched anti-diagonal (wavefront) DP, no Python-level per-cell loops;
 * :func:`dba_mean` — DTW Barycenter Averaging (Petitjean-style), the DTW
   analogue of the k-means computation step;
-* :func:`dtw_assign` — assignment step under DTW (batched).
+* :func:`dtw_assign` — assignment step under DTW (batched), with an
+  LB_Keogh pruning fast path: candidate centroids whose :func:`lb_keogh`
+  lower bound already exceeds the best exact distance so far are never
+  run through the wavefront DP (exact — tested against
+  :func:`dtw_assign_reference`).
 
 The DP is vectorized along anti-diagonals: every cell on diagonal
 ``d = i + j`` depends only on diagonals ``d−1`` and ``d−2``, so one numpy
@@ -37,6 +41,7 @@ __all__ = [
     "dtw_assign",
     "dtw_assign_reference",
     "dba_mean",
+    "lb_keogh",
 ]
 
 
@@ -159,51 +164,211 @@ def dtw_pairwise(
     return np.sqrt(distances)
 
 
-def _pairwise_block(
-    series: np.ndarray, centroids: np.ndarray, window: int | None
-) -> np.ndarray:
-    """Squared accumulated DTW costs for one chunk (wavefront, 3 buffers).
+def _wavefront(local, lead_shape: tuple, n: int, m: int, window: int | None) -> np.ndarray:
+    """The shared anti-diagonal DP loop (3 rolling buffers).
 
-    Buffer slot ``i`` of diagonal ``d`` holds ``D[i, d−i]``; the recurrence
-    reads ``D[i−1, j]`` and ``D[i, j−1]`` from diagonal ``d−1`` (slots
-    ``i−1`` and ``i``) and ``D[i−1, j−1]`` from diagonal ``d−2`` (slot
-    ``i−1``).  The three buffers rotate in place; only the band a recycled
-    buffer actually wrote two diagonals ago is reset, so per-diagonal work
-    is proportional to the band width, not the full buffer.
+    ``local(lo, hi, j)`` returns the squared local costs for slots
+    ``lo..hi`` of the current diagonal, broadcast over ``lead_shape`` —
+    the one thing that differs between the cross-product and row-aligned
+    callers.  Buffer slot ``i`` of diagonal ``d`` holds ``D[i, d−i]``;
+    the recurrence reads ``D[i−1, j]`` and ``D[i, j−1]`` from diagonal
+    ``d−1`` (slots ``i−1`` and ``i``) and ``D[i−1, j−1]`` from diagonal
+    ``d−2`` (slot ``i−1``).  The three buffers rotate in place; only the
+    band a recycled buffer actually wrote two diagonals ago is reset, so
+    per-diagonal work is proportional to the band width, not the full
+    buffer.
     """
-    t, n = series.shape
-    k, m = centroids.shape
-    shape = (t, k, n + 1)
+    shape = (*lead_shape, n + 1)
     prev2 = np.full(shape, np.inf)  # diagonal d − 2
     prev = np.full(shape, np.inf)  # diagonal d − 1
     cur = np.full(shape, np.inf)  # diagonal d (recycled each step)
-    prev2[:, :, 0] = 0.0  # D[0, 0]
+    prev2[..., 0] = 0.0  # D[0, 0]
     bands = {id(prev2): (0, 0), id(prev): None, id(cur): None}
     for d in range(2, n + m + 1):
         stale = bands[id(cur)]
         if stale is not None:
-            cur[:, :, stale[0] : stale[1] + 1] = np.inf
+            cur[..., stale[0] : stale[1] + 1] = np.inf
         lo, hi = _diag_bounds(d, n, m, window)
         if lo <= hi:
             j = d - np.arange(lo, hi + 1)
-            local = (series[:, None, lo - 1 : hi] - centroids[None, :, j - 1]) ** 2
             best = np.minimum(
-                np.minimum(prev[:, :, lo - 1 : hi], prev[:, :, lo : hi + 1]),
-                prev2[:, :, lo - 1 : hi],
+                np.minimum(prev[..., lo - 1 : hi], prev[..., lo : hi + 1]),
+                prev2[..., lo - 1 : hi],
             )
-            cur[:, :, lo : hi + 1] = local + best
+            cur[..., lo : hi + 1] = local(lo, hi, j) + best
             bands[id(cur)] = (lo, hi)
         else:
             bands[id(cur)] = None
         prev2, prev, cur = prev, cur, prev2
-    return prev[:, :, n].copy()  # D[n, m] sits on the last diagonal at slot n
+    return prev[..., n].copy()  # D[n, m] sits on the last diagonal at slot n
+
+
+def _pairwise_block(
+    series: np.ndarray, centroids: np.ndarray, window: int | None
+) -> np.ndarray:
+    """Squared accumulated DTW costs for one chunk: the full
+    series × centroids cross product through :func:`_wavefront`."""
+
+    def local(lo: int, hi: int, j: np.ndarray) -> np.ndarray:
+        return (series[:, None, lo - 1 : hi] - centroids[None, :, j - 1]) ** 2
+
+    return _wavefront(
+        local, (len(series), len(centroids)), series.shape[1], centroids.shape[1],
+        window,
+    )
+
+
+def _aligned_block(
+    series: np.ndarray, partners: np.ndarray, window: int | None
+) -> np.ndarray:
+    """Squared accumulated DTW cost of row ``i`` of ``series`` against row
+    ``i`` of ``partners`` — the row-aligned twin of :func:`_pairwise_block`.
+
+    Same :func:`_wavefront` kernel, same per-cell arithmetic (bit-identical
+    costs), but a *different partner per row* instead of the full
+    ``t × k`` cross product: this is what lets LB_Keogh pruning evaluate
+    one candidate per series in a single batched call rather than
+    per-centroid fragments.
+    """
+
+    def local(lo: int, hi: int, j: np.ndarray) -> np.ndarray:
+        return (series[:, lo - 1 : hi] - partners[:, j - 1]) ** 2
+
+    return _wavefront(
+        local, (len(series),), series.shape[1], partners.shape[1], window
+    )
+
+
+def _envelopes(
+    centroids: np.ndarray, window: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-centroid warping envelopes ``(U, L)`` of half-width ``window``.
+
+    ``U[c, i] = max(centroids[c, i−w : i+w+1])`` (and ``L`` the min);
+    ``window=None`` — unconstrained DTW — degenerates to the global
+    max/min per centroid, which is the envelope of an unbounded band.
+    """
+    k, m = centroids.shape
+    r = m - 1 if window is None else min(window, m - 1)
+    if r >= m - 1:
+        upper = np.repeat(centroids.max(axis=1, keepdims=True), m, axis=1)
+        lower = np.repeat(centroids.min(axis=1, keepdims=True), m, axis=1)
+        return upper, lower
+    width = 2 * r + 1
+    padded = np.pad(centroids, ((0, 0), (r, r)), constant_values=-np.inf)
+    upper = np.lib.stride_tricks.sliding_window_view(padded, width, axis=1).max(axis=2)
+    padded = np.pad(centroids, ((0, 0), (r, r)), constant_values=np.inf)
+    lower = np.lib.stride_tricks.sliding_window_view(padded, width, axis=1).min(axis=2)
+    return upper, lower
+
+
+def lb_keogh(
+    series: np.ndarray,
+    centroids: np.ndarray,
+    window: int | None = None,
+    chunk_size: int = 2048,
+) -> np.ndarray:
+    """The LB_Keogh lower bound on every ``t × k`` DTW distance.
+
+    ``LB(s, c) = sqrt(Σ_i ((s_i − U_i)⁺)² + ((L_i − s_i)⁺)²)`` with
+    ``(U, L)`` the envelope of ``c`` over the Sakoe–Chiba band: every
+    warping path must align ``s_i`` with some ``c_j`` inside the band, and
+    that ``c_j`` lies within ``[L_i, U_i]``, so each term underestimates
+    the path's local cost at ``i``.  Requires equal-length series and
+    centroids (the classic LB_Keogh setting).  O(t·k·n) — quadratically
+    cheaper than the O(t·k·n²) DP it gates.
+    """
+    series = np.asarray(series, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    if series.shape[1] != centroids.shape[1]:
+        raise ValueError("lb_keogh requires equal-length series and centroids")
+    upper, lower = _envelopes(centroids, window)
+    t = len(series)
+    bounds = np.empty((t, len(centroids)))
+    for start in range(0, t, chunk_size):
+        block = series[start : start + chunk_size, None, :]
+        above = np.clip(block - upper[None, :, :], 0.0, None)
+        below = np.clip(lower[None, :, :] - block, 0.0, None)
+        bounds[start : start + chunk_size] = (above**2 + below**2).sum(axis=2)
+    return np.sqrt(bounds)
 
 
 def dtw_assign(
-    series: np.ndarray, centroids: np.ndarray, window: int | None = None
+    series: np.ndarray,
+    centroids: np.ndarray,
+    window: int | None = None,
+    prune: bool = True,
 ) -> np.ndarray:
-    """Assignment step under DTW — batched over all ``t × k`` pairs."""
-    return np.argmin(dtw_pairwise(series, centroids, window), axis=1).astype(np.int64)
+    """Assignment step under DTW — batched, LB_Keogh-pruned.
+
+    With ``prune`` (and equal series/centroid lengths), candidates are
+    visited per series in increasing LB_Keogh order and the wavefront DP
+    runs only while the lower bound does not already exceed the best
+    exact distance so far — on clustered data most of the ``t × k`` DPs
+    are skipped, and when the bounds turn out not to prune (poorly
+    clustered data) an effectiveness guard falls back to the single
+    fully-batched wavefront call so the worst case stays near the
+    unpruned cost.  Results are identical to the unpruned ``argmin`` (ties
+    break toward the lower centroid index, matching
+    :func:`dtw_assign_reference`): the bound is mathematically ≤ the DTW
+    distance, and the gate carries a small relative slack so a *computed*
+    bound that lands ulps above the computed distance (different float
+    summation order) cannot prune a near-tied candidate.
+    """
+    series = np.asarray(series, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    t, n = series.shape
+    k, m = centroids.shape
+    if not prune or n != m or k == 1:
+        return np.argmin(dtw_pairwise(series, centroids, window), axis=1).astype(
+            np.int64
+        )
+    if window is not None:
+        window = max(window, 0)
+    bounds = lb_keogh(series, centroids, window)
+    order = np.argsort(bounds, axis=1, kind="stable")
+    rows = np.arange(t)
+    best = np.full(t, np.inf)
+    labels = np.zeros(t, dtype=np.int64)
+    evaluated = np.zeros((t, k), dtype=bool)
+    for rank in range(k):
+        candidate = order[:, rank]
+        # <= with slack (not <): an equal-LB candidate may still hold an
+        # equal exact distance at a lower index, which the tie-break must
+        # see — and the computed bound may exceed the computed distance
+        # by ulps, which must not prune it either.
+        active = np.flatnonzero(
+            bounds[rows, candidate] <= best * (1.0 + 1e-9) + 1e-12
+        )
+        if active.size == 0:
+            # Per-row LBs are non-decreasing in rank and ``best`` only
+            # shrinks, so no later rank can become active either.
+            break
+        # One batched row-aligned wavefront for this whole rank: row i of
+        # the active set runs against its own rank-th candidate.
+        chosen = candidate[active]
+        distances = np.sqrt(
+            _aligned_block(series[active], centroids[chosen], window)
+        )
+        better = (distances < best[active]) | (
+            (distances == best[active]) & (chosen < labels[active])
+        )
+        best[active[better]] = distances[better]
+        labels[active[better]] = chosen[better]
+        evaluated[active, chosen] = True
+        if rank == 0 and k > 2:
+            # Effectiveness guard: if after the best-LB candidates the
+            # bounds still fail to prune most remaining pairs (poorly
+            # clustered data), the single t × k wavefront beats k more
+            # row-aligned passes — fall back to it (identical result:
+            # argmin with first-occurrence ties is the reference
+            # tie-break).
+            viable = (bounds <= best[:, None] * (1.0 + 1e-9) + 1e-12) & ~evaluated
+            if viable.sum() > 0.5 * t * (k - 1):
+                return np.argmin(
+                    dtw_pairwise(series, centroids, window), axis=1
+                ).astype(np.int64)
+    return labels
 
 
 def dtw_assign_reference(

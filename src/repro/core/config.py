@@ -34,10 +34,15 @@ class ChiaroscuroParams:
     Execution block (implementation, not paper): ``crypto_backend`` selects
     how ciphertext batches are evaluated (``"serial"`` in-process or
     ``"process"`` over a worker pool with ``backend_workers`` processes,
-    0 = one per CPU); ``use_packing`` switches the computation step to the
-    slot-packed ciphertext plane when the plaintext space allows it.
-    Backend choice is fully result-neutral (bit-identical runs for the same
-    seed).  Plane choice is result-neutral at the decode level — a packed
+    0 = one per CPU); ``bigint_backend`` selects the modular-arithmetic
+    kernel (``"auto"`` | ``"python"`` | ``"gmpy2"``, see
+    :mod:`repro.crypto.bigint` — ``"auto"`` keeps the process's active
+    kernel, which the ``REPRO_BIGINT_BACKEND`` env var seeds at import
+    time, defaulting to gmpy2-if-installed);
+    ``use_packing`` switches the computation step to the slot-packed
+    ciphertext plane when the plaintext space allows it.  Backend choice —
+    execution *and* bigint — is fully result-neutral (bit-identical runs
+    for the same seed).  Plane choice is result-neutral at the decode level — a packed
     accumulation decodes to exactly the scalar plane's integers — but a
     full protocol run consumes the crypto RNG differently per plane
     (fewer ciphertexts → fewer seeds), so seeded runs are reproducible
@@ -82,6 +87,7 @@ class ChiaroscuroParams:
     # execution (batched crypto plane + simulation substrate)
     crypto_backend: str = "serial"
     backend_workers: int = 0  # 0 = one worker per CPU
+    bigint_backend: str = "auto"  # modular-arithmetic kernel (crypto.bigint)
     use_packing: bool = True
     protocol_plane: str = "object"
 
@@ -106,6 +112,10 @@ class ChiaroscuroParams:
             raise ValueError("smoothing_fraction must be in [0, 1)")
         if self.crypto_backend not in ("serial", "process"):
             raise ValueError("crypto_backend must be 'serial' or 'process'")
+        if self.bigint_backend not in ("auto", "python", "gmpy2"):
+            raise ValueError(
+                "bigint_backend must be 'auto', 'python' or 'gmpy2'"
+            )
         if self.backend_workers < 0:
             raise ValueError("backend_workers must be >= 0 (0 = one per CPU)")
         if self.protocol_plane not in ("object", "vectorized"):

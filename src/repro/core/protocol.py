@@ -38,6 +38,7 @@ import numpy as np
 
 from ..clustering.distance import assign_to_closest
 from ..clustering.inertia import intra_inertia
+from ..crypto import bigint
 from ..crypto.backend import create_backend
 from ..crypto.damgard_jurik import FastEncryptor
 from ..crypto.encoding import FixedPointCodec, PackedCodec
@@ -109,6 +110,19 @@ class ChiaroscuroRun:
         self.seed = seed
         self.crypto_rng = random.Random(seed)
         self.noise_rng = np.random.default_rng(seed + 1)
+        # Resolve the spec'd bigint kernel up front (loud failure on an
+        # uninstalled gmpy2 request) without mutating the process-global
+        # selection: key/table construction below and every protocol
+        # iteration run inside use_backend(self.bigint_backend), so an
+        # explicit per-run choice cannot leak into later "auto" runs in
+        # the same process.  "auto" keeps the process's active kernel
+        # (env-var/import-time resolution, or a programmatic
+        # select_backend/use_backend).  Either kernel is result-neutral —
+        # both are exact integer arithmetic.
+        if params.bigint_backend == "auto":
+            self.bigint_backend = bigint.active_backend()
+        else:
+            self.bigint_backend = bigint.resolve_backend(params.bigint_backend)
         # Observability hook handed to every per-iteration gossip engine:
         # called after each cycle with (cycle_index, exchanges_in_cycle).
         self.cycle_hook = cycle_hook
@@ -129,13 +143,14 @@ class ChiaroscuroRun:
             self.participants = []
             return
         if keypair is None:
-            keypair = generate_threshold_keypair(
-                key_bits,
-                n_shares=population,
-                threshold=tau,
-                s=params.expansion_s,
-                rng=self.crypto_rng,
-            )
+            with bigint.use_backend(self.bigint_backend):
+                keypair = generate_threshold_keypair(
+                    key_bits,
+                    n_shares=population,
+                    threshold=tau,
+                    s=params.expansion_s,
+                    rng=self.crypto_rng,
+                )
         self.keypair = keypair
 
         # Pick the fixed-point resolution, then prove the plaintext space
@@ -170,7 +185,8 @@ class ChiaroscuroRun:
         # scale with an exponential-tail quantile (P[|share| > 60λ] ~ e⁻⁶⁰
         # per element: never in practice), falling back to scalar when the
         # resulting slot no longer fits the plaintext.
-        self.encryptor = FastEncryptor(keypair.public, self.crypto_rng)
+        with bigint.use_backend(self.bigint_backend):
+            self.encryptor = FastEncryptor(keypair.public, self.crypto_rng)
         self.backend = create_backend(
             params.crypto_backend,
             workers=params.backend_workers,
@@ -282,45 +298,50 @@ class ChiaroscuroRun:
             except BudgetExhausted:
                 return
 
-            engine = GossipEngine(
-                n_nodes=dataset.t,
-                seed=self.seed + 1000 * iteration,
-                view_size=params.view_size,
-                churn=churn,
-            )
-            engine.on_cycle = self.cycle_hook
+            # The run's bigint kernel is active only while this iteration
+            # computes and is restored before every yield — interleaved
+            # generators of runs with different kernels never see each
+            # other's selection, and nothing leaks into later runs.
+            with bigint.use_backend(self.bigint_backend):
+                engine = GossipEngine(
+                    n_nodes=dataset.t,
+                    seed=self.seed + 1000 * iteration,
+                    view_size=params.view_size,
+                    churn=churn,
+                )
+                engine.on_cycle = self.cycle_hook
 
-            # Assignment step (local, per participant).
-            mean_vectors = {
-                p.node_id: p.encrypted_means_vector(centroids, self.crypto_rng)
-                for p in self.participants
-            }
+                # Assignment step (local, per participant).
+                mean_vectors = {
+                    p.node_id: p.encrypted_means_vector(centroids, self.crypto_rng)
+                    for p in self.participants
+                }
 
-            # Computation step (Algorithm 3).
-            plan = NoisePlan(
-                k=len(centroids),
-                series_length=dataset.n,
-                dmin=dataset.dmin,
-                dmax=dataset.dmax,
-                epsilon=epsilon_i,
-                n_nu=n_nu,
-            )
-            step = ComputationStep(
-                keypair=self.keypair,
-                codec=self.codec,
-                noise_plan=plan,
-                exchanges=params.exchanges,
-                crypto_rng=self.crypto_rng,
-                noise_rng=self.noise_rng,
-                plane=self.plane,
-            )
-            output = step.run(engine, mean_vectors)
-            if not output.sums:
-                return
+                # Computation step (Algorithm 3).
+                plan = NoisePlan(
+                    k=len(centroids),
+                    series_length=dataset.n,
+                    dmin=dataset.dmin,
+                    dmax=dataset.dmax,
+                    epsilon=epsilon_i,
+                    n_nu=n_nu,
+                )
+                step = ComputationStep(
+                    keypair=self.keypair,
+                    codec=self.codec,
+                    noise_plan=plan,
+                    exchanges=params.exchanges,
+                    crypto_rng=self.crypto_rng,
+                    noise_rng=self.noise_rng,
+                    plane=self.plane,
+                )
+                output = step.run(engine, mean_vectors)
+                if not output.sums:
+                    return
 
-            advanced = self._advance_centroids(
-                output, centroids, iteration, epsilon_i, do_smooth, window
-            )
+                advanced = self._advance_centroids(
+                    output, centroids, iteration, epsilon_i, do_smooth, window
+                )
             if advanced is None:
                 return
             stats, centroids, converged = advanced

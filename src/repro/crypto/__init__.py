@@ -10,8 +10,15 @@ encryption (:class:`FastEncryptor` over :class:`FixedBaseTable`), slot
 packing of many fixed-point values per plaintext (:class:`PackedCodec`),
 and swappable serial / process-pool execution backends
 (:mod:`repro.crypto.backend`) with deterministic per-item seeding.
+
+All modular arithmetic routes through the pluggable bigint kernel
+(:mod:`repro.crypto.bigint`): pure-python by default, GMP (``gmpy2``) as
+an optional, bit-identical fast path selected via the
+``REPRO_BIGINT_BACKEND`` env var, the ``bigint_backend`` RunSpec/params
+field, or the ``--bigint-backend`` CLI flag.
 """
 
+from . import bigint
 from .backend import (
     CryptoBackend,
     ProcessPoolBackend,
@@ -51,6 +58,7 @@ from .threshold import (
 )
 
 __all__ = [
+    "bigint",
     "CryptoBackend",
     "FastEncryptor",
     "FixedBaseTable",

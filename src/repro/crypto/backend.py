@@ -33,6 +33,7 @@ import os
 import random
 from concurrent.futures import ProcessPoolExecutor
 
+from . import bigint
 from .damgard_jurik import FastEncryptor, encrypt
 from .keys import KeyShare, PublicKey, ThresholdContext
 
@@ -72,14 +73,18 @@ def _partial_decrypt_exponent(context: ThresholdContext, share: KeyShare) -> int
 
 # --- process-pool worker side -------------------------------------------
 # The (potentially table-backed) encryptor ships once per worker through the
-# pool initializer; chunks then carry only plaintexts and seeds.
+# pool initializer, together with the parent's resolved bigint backend name
+# (workers must re-select it — the selection is process-global state, and a
+# spec/CLI choice made in the parent would otherwise be invisible to them).
+# Chunks then carry only plaintexts and seeds.
 
 _WORKER_ENCRYPTOR: FastEncryptor | None = None
 
 
-def _init_worker(encryptor: FastEncryptor | None) -> None:
+def _init_worker(encryptor: FastEncryptor | None, bigint_backend: str) -> None:
     global _WORKER_ENCRYPTOR
     _WORKER_ENCRYPTOR = encryptor
+    bigint.select_backend(bigint_backend)
 
 
 def _encrypt_chunk(public: PublicKey, items: list[tuple[int, int]]) -> list[int]:
@@ -90,7 +95,7 @@ def _encrypt_chunk(public: PublicKey, items: list[tuple[int, int]]) -> list[int]
 
 
 def _pow_chunk(exponent: int, modulus: int, chunk: list[int]) -> list[int]:
-    return [pow(c, exponent, modulus) for c in chunk]
+    return bigint.powmod_batch(chunk, exponent, modulus)
 
 
 class CryptoBackend:
@@ -133,8 +138,7 @@ class SerialBackend(CryptoBackend):
         self, context: ThresholdContext, share: KeyShare, ciphertexts: list[int]
     ) -> list[int]:
         exponent = _partial_decrypt_exponent(context, share)
-        n_s1 = context.public.n_s1
-        return [pow(c, exponent, n_s1) for c in ciphertexts]
+        return bigint.powmod_batch(ciphertexts, exponent, context.public.n_s1)
 
 
 class ProcessPoolBackend(CryptoBackend):
@@ -165,7 +169,7 @@ class ProcessPoolBackend(CryptoBackend):
             self._executor = ProcessPoolExecutor(
                 max_workers=self.max_workers,
                 initializer=_init_worker,
-                initargs=(self.encryptor,),
+                initargs=(self.encryptor, bigint.active_backend()),
             )
         return self._executor
 

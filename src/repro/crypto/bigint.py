@@ -1,0 +1,344 @@
+"""Pluggable bigint arithmetic kernel for the crypto plane.
+
+Every hot modular-arithmetic operation in the repository funnels through
+this module so the underlying implementation is swappable without touching
+protocol code.  Two backends exist:
+
+* ``python`` — CPython's built-in arbitrary-precision integers (the
+  default; zero new dependencies, always available);
+* ``gmpy2`` — GMP-backed ``mpz`` arithmetic, a *soft* dependency that is
+  used only when the package is importable and selected.  GMP's
+  subquadratic multiplication and sliding-window ``powmod`` give 3–10×
+  on the 1024–2048-bit operands the Damgård–Jurik plane works with.
+
+Both backends are exact integer arithmetic, so every result is
+**bit-identical** across them — backend choice is a pure speed knob and
+must never change a ciphertext, a decryption, or a protocol trace.
+
+Selection
+---------
+The active backend is process-global (worker processes of the pool
+backend re-select it from the name shipped in their initializer):
+
+* ``REPRO_BIGINT_BACKEND`` environment variable (``auto`` | ``python`` |
+  ``gmpy2``), read at import time and whenever ``auto`` is re-resolved;
+* :func:`select_backend` — programmatic selection, used by
+  ``ChiaroscuroRun`` to apply ``ChiaroscuroParams.bigint_backend`` (the
+  RunSpec field) and by the CLI ``--bigint-backend`` flag;
+* :func:`use_backend` — a context manager for tests and benchmarks.
+
+``auto`` defers to the environment variable when set, else picks
+``gmpy2`` when importable and ``python`` otherwise.  Requesting
+``gmpy2`` explicitly when the package is absent raises ``ValueError``
+(the soft-dependency boundary is loud, never silent).
+
+Primitives
+----------
+Beyond :func:`powmod` / :func:`invert`, the kernel exposes the batched
+shapes the protocol actually exhibits:
+
+* :func:`powmod_batch` — many bases, one shared exponent/modulus (the
+  partial-decryption shape: ``c_i^{2Δd}`` over a whole means vector);
+* :func:`invert_batch` — Montgomery's batch-inversion trick: ``n``
+  inverses for the price of one inversion plus ``3(n−1)``
+  multiplications;
+* :func:`multi_powmod` — Straus (interleaved) multi-exponentiation
+  ``∏ b_i^{e_i} mod m`` with one shared squaring chain, the threshold
+  Lagrange-combination shape;
+* :func:`mulmod_reduce` — a product chain reduced modulo ``m``; part of
+  the kernel's public surface for extensions (the built-in hot paths use
+  the shapes above, with the fixed-base table running its own native
+  accumulation loop).
+
+All entry points accept and return plain Python ``int`` — native types
+(``mpz``) never leak to callers, so serialization, hashing and pickling
+behaviour is identical whichever backend computed a value.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+__all__ = [
+    "BACKEND_ENV",
+    "active_backend",
+    "available_backends",
+    "invert",
+    "invert_batch",
+    "multi_powmod",
+    "mulmod_reduce",
+    "powmod",
+    "powmod_batch",
+    "resolve_backend",
+    "select_backend",
+    "to_native",
+    "use_backend",
+]
+
+#: Environment variable consulted when resolving the ``auto`` backend.
+BACKEND_ENV = "REPRO_BIGINT_BACKEND"
+
+try:  # soft dependency: pure-python remains the zero-dependency default
+    import gmpy2 as _gmpy2
+except ImportError:  # pragma: no cover - exercised on gmpy2-less installs
+    _gmpy2 = None
+
+
+class _PythonBackend:
+    """CPython built-in integers — the always-available reference."""
+
+    name = "python"
+
+    @staticmethod
+    def to_native(value: int) -> int:
+        return int(value)
+
+    # ``pow`` already implements negative exponents (modular inverse) and
+    # raises ValueError for non-invertible bases — the contract callers
+    # rely on.
+    powmod = staticmethod(pow)
+
+    @staticmethod
+    def invert(value: int, modulus: int) -> int:
+        return pow(value, -1, modulus)
+
+
+class _Gmpy2Backend:
+    """GMP-backed ``mpz`` arithmetic via :mod:`gmpy2` (soft dependency)."""
+
+    name = "gmpy2"
+
+    @staticmethod
+    def to_native(value: int):
+        return _gmpy2.mpz(value)
+
+    @staticmethod
+    def powmod(base: int, exponent: int, modulus: int) -> int:
+        try:
+            return int(_gmpy2.powmod(base, exponent, modulus))
+        except (ValueError, ZeroDivisionError) as exc:
+            # Negative exponent of a non-invertible base: match pow()'s
+            # error type so both backends fail identically.
+            raise ValueError(f"base is not invertible mod {modulus}") from exc
+
+    @staticmethod
+    def invert(value: int, modulus: int) -> int:
+        try:
+            result = int(_gmpy2.invert(value, modulus))
+        except ZeroDivisionError as exc:
+            raise ValueError(f"base is not invertible mod {modulus}") from exc
+        if result == 0 and modulus != 1:
+            # gmpy2 < 2.1 signalled "no inverse" with 0 instead of raising.
+            raise ValueError(f"base is not invertible mod {modulus}")
+        return result
+
+
+_BACKENDS = {"python": _PythonBackend}
+if _gmpy2 is not None:
+    _BACKENDS["gmpy2"] = _Gmpy2Backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends importable in this process."""
+    return tuple(_BACKENDS)
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a requested backend name to a concrete one, without side
+    effects.
+
+    ``None``/``""``/``"auto"`` consult :data:`BACKEND_ENV`; an unset (or
+    itself-``auto``) variable resolves to ``gmpy2`` when importable, else
+    ``python``.  Unknown names, and an explicit ``gmpy2`` request without
+    the package, raise ``ValueError``.
+    """
+    requested = (name or "auto").strip().lower()
+    if requested == "auto":
+        requested = (os.environ.get(BACKEND_ENV) or "auto").strip().lower()
+    if requested == "auto":
+        return "gmpy2" if "gmpy2" in _BACKENDS else "python"
+    if requested == "python":
+        return "python"
+    if requested == "gmpy2":
+        if "gmpy2" not in _BACKENDS:
+            raise ValueError(
+                "bigint backend 'gmpy2' requested but the gmpy2 package is "
+                "not installed (pure-python is the default; install gmpy2 "
+                "for the fast path)"
+            )
+        return "gmpy2"
+    raise ValueError(
+        f"unknown bigint backend {requested!r} (use 'auto', 'python' or 'gmpy2')"
+    )
+
+
+def select_backend(name: str | None = None) -> str:
+    """Select the process-global backend; returns the concrete name."""
+    global _ACTIVE
+    _ACTIVE = _BACKENDS[resolve_backend(name)]
+    return _ACTIVE.name
+
+
+def active_backend() -> str:
+    """Concrete name of the backend currently in effect."""
+    return _ACTIVE.name
+
+
+@contextmanager
+def use_backend(name: str | None) -> Iterator[str]:
+    """Temporarily select a backend (tests, benchmarks, comparisons)."""
+    previous = _ACTIVE.name
+    try:
+        yield select_backend(name)
+    finally:
+        select_backend(previous)
+
+
+try:
+    _ACTIVE = _BACKENDS[resolve_backend("auto")]
+except ValueError as _exc:  # bad REPRO_BIGINT_BACKEND: never break imports
+    warnings.warn(f"{_exc}; falling back to the python bigint backend")
+    _ACTIVE = _PythonBackend
+
+
+# ------------------------------------------------------------- primitives
+
+
+def to_native(value: int):
+    """The active backend's native integer (``int`` or ``mpz``).
+
+    For building arithmetic-heavy local loops (e.g. the fixed-base table)
+    on the fast representation; convert back with ``int()`` before the
+    value leaves the crypto layer.
+    """
+    return _ACTIVE.to_native(value)
+
+
+def powmod(base: int, exponent: int, modulus: int) -> int:
+    """``base**exponent mod modulus``; negative exponents use the modular
+    inverse (``ValueError`` when it does not exist)."""
+    return _ACTIVE.powmod(base, exponent, modulus)
+
+
+def powmod_batch(bases: Sequence[int], exponent: int, modulus: int) -> list[int]:
+    """``[b**exponent mod modulus for b in bases]`` with one shared
+    exponent — the partial-decryption shape."""
+    backend = _ACTIVE
+    if backend is _PythonBackend:
+        return [pow(b, exponent, modulus) for b in bases]
+    e = _gmpy2.mpz(exponent)
+    m = _gmpy2.mpz(modulus)
+    try:
+        return [int(_gmpy2.powmod(b, e, m)) for b in bases]
+    except (ValueError, ZeroDivisionError) as exc:
+        # Same normalization as _Gmpy2Backend.powmod: both backends raise
+        # ValueError for a negative exponent of a non-invertible base.
+        raise ValueError(f"base is not invertible mod {modulus}") from exc
+
+
+def invert(value: int, modulus: int) -> int:
+    """Modular inverse of ``value`` (``ValueError`` if not invertible)."""
+    return _ACTIVE.invert(value, modulus)
+
+
+def invert_batch(values: Sequence[int], modulus: int) -> list[int]:
+    """All inverses ``v⁻¹ mod modulus`` via Montgomery's batch trick.
+
+    One modular inversion plus ``3(n−1)`` multiplications instead of ``n``
+    inversions: prefix products are accumulated, the full product is
+    inverted once, and the individual inverses are peeled off backwards.
+    Raises ``ValueError`` if *any* element is non-invertible (the failure
+    is detected on the aggregated product, exactly like the one-inversion
+    cost profile implies).
+    """
+    if not values:
+        return []
+    backend = _ACTIVE
+    m = backend.to_native(modulus)
+    native = [backend.to_native(v % modulus) for v in values]
+    prefix = []
+    acc = backend.to_native(1)
+    for v in native:
+        prefix.append(acc)
+        acc = acc * v % m
+    acc = backend.invert(acc, modulus)  # raises ValueError when gcd ≠ 1
+    acc = backend.to_native(acc)
+    out = [0] * len(native)
+    for i in range(len(native) - 1, -1, -1):
+        out[i] = int(prefix[i] * acc % m)
+        acc = acc * native[i] % m
+    return out
+
+
+def mulmod_reduce(values: Sequence[int], modulus: int) -> int:
+    """The product ``∏ values mod modulus`` (empty product is ``1 % m``)."""
+    backend = _ACTIVE
+    m = backend.to_native(modulus)
+    acc = backend.to_native(1)
+    for v in values:
+        acc = acc * v % m
+    return int(acc % m)
+
+
+#: Bases per Straus group: each group precomputes ``2^G − 1`` subset
+#: products, and every exponent bit costs one lookup-multiply per group.
+_STRAUS_GROUP = 4
+
+
+def multi_powmod(
+    bases: Sequence[int], exponents: Sequence[int], modulus: int
+) -> int:
+    """``∏ bases[i]**exponents[i] mod modulus`` by Straus interleaving.
+
+    One shared squaring chain over the longest exponent replaces the per-
+    base square-and-multiply: for ``n`` bases of ``B``-bit exponents the
+    cost drops from ``n·B`` squarings to ``B`` squarings plus at most
+    ``B·⌈n/4⌉`` table multiplies — the threshold share-combination shape,
+    where every partial decryption carries a ``Δ``-sized Lagrange
+    exponent.  Negative exponents are handled by batch-inverting the
+    affected bases up front (one inversion total, Montgomery trick).
+    """
+    if len(bases) != len(exponents):
+        raise ValueError("multi_powmod needs equally many bases and exponents")
+    if modulus < 1:
+        raise ValueError("modulus must be >= 1")
+    reduced = [b % modulus for b in bases]
+    negative = [i for i, e in enumerate(exponents) if e < 0]
+    if negative:
+        inverted = invert_batch([reduced[i] for i in negative], modulus)
+        for slot, i in enumerate(negative):
+            reduced[i] = inverted[slot]
+        exponents = [abs(e) for e in exponents]
+    backend = _ACTIVE
+    m = backend.to_native(modulus)
+    pairs = [
+        (backend.to_native(b), int(e))
+        for b, e in zip(reduced, exponents)
+        if e != 0
+    ]
+    if not pairs:
+        return 1 % modulus
+    one = backend.to_native(1)
+    groups = []
+    for start in range(0, len(pairs), _STRAUS_GROUP):
+        chunk = pairs[start : start + _STRAUS_GROUP]
+        table = [one] * (1 << len(chunk))
+        for bit, (base, _) in enumerate(chunk):
+            step = 1 << bit
+            for idx in range(step, step << 1):
+                table[idx] = table[idx - step] * base % m
+        groups.append((table, [e for _, e in chunk]))
+    result = one
+    for bit in range(max(e.bit_length() for _, e in pairs) - 1, -1, -1):
+        result = result * result % m
+        for table, exps in groups:
+            idx = 0
+            for pos, e in enumerate(exps):
+                if (e >> bit) & 1:
+                    idx |= 1 << pos
+            if idx:
+                result = result * table[idx] % m
+    return int(result % m)

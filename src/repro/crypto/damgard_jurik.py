@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 import random
 
+from . import bigint
 from .keys import PrivateKey, PublicKey
 from .numtheory import (
     FixedBaseTable,
@@ -109,7 +110,7 @@ def powers_of_g(public: PublicKey, a: int) -> int:
     for i in range(1, public.s + 1):
         binomial = binomial * ((a - i + 1) % n_s1) % n_s1
         binomial = binomial * modinv(i, n_s1) % n_s1
-        result = (result + binomial * pow(public.n, i, n_s1)) % n_s1
+        result = (result + binomial * bigint.powmod(public.n, i, n_s1)) % n_s1
     return result
 
 
@@ -130,7 +131,7 @@ def encrypt(
             r = rng.randrange(1, public.n)
             if gcd(r, public.n) == 1:
                 break
-        randomizer = pow(r, public.n_s, public.n_s1)
+        randomizer = bigint.powmod(r, public.n_s, public.n_s1)
     return powers_of_g(public, plaintext) * randomizer % public.n_s1
 
 
@@ -148,7 +149,7 @@ def encrypt_zero_pool(public: PublicKey, count: int, rng: random.Random) -> list
             r = rng.randrange(1, public.n)
             if gcd(r, public.n) == 1:
                 break
-        pool.append(pow(r, public.n_s, public.n_s1))
+        pool.append(bigint.powmod(r, public.n_s, public.n_s1))
     return pool
 
 
@@ -182,7 +183,7 @@ class FastEncryptor:
             r0 = rng.randrange(1, public.n)
             if gcd(r0, public.n) == 1:
                 break
-        h = pow(r0, public.n_s, public.n_s1)
+        h = bigint.powmod(r0, public.n_s, public.n_s1)
         self.table = FixedBaseTable(h, public.n_s1, exponent_bits, window_bits)
 
     def randomizer(self, rng: random.Random) -> int:
@@ -238,7 +239,7 @@ def homomorphic_scalar_mul(public: PublicKey, ciphertext: int, scalar: int) -> i
     if scalar < 0:
         ciphertext = modinv(ciphertext, public.n_s1)
         scalar = -scalar
-    return pow(ciphertext, scalar, public.n_s1)
+    return bigint.powmod(ciphertext, scalar, public.n_s1)
 
 
 def dlog_1_plus_n(public: PublicKey, u: int) -> int:
@@ -258,7 +259,9 @@ def dlog_1_plus_n(public: PublicKey, u: int) -> int:
         for k in range(2, j + 1):
             i -= 1
             t2 = t2 * i % n_j
-            t1 = (t1 - t2 * pow(n, k - 1, n_j) * modinv(math.factorial(k), n_j)) % n_j
+            t1 = (
+                t1 - t2 * bigint.powmod(n, k - 1, n_j) * modinv(math.factorial(k), n_j)
+            ) % n_j
         a = t1 % n_j
     return a
 
@@ -267,7 +270,7 @@ def _decrypt_reference(private: PrivateKey, ciphertext: int) -> int:
     """Single full-width modexp — the reference path CRT-split is tested
     against for bit-identical results."""
     public = private.public
-    u = pow(ciphertext, private.d, public.n_s1)
+    u = bigint.powmod(ciphertext, private.d, public.n_s1)
     return dlog_1_plus_n(public, u)
 
 
@@ -288,7 +291,11 @@ def decrypt(private: PrivateKey, ciphertext: int) -> int:
     s1 = public.s + 1
     p_s1 = private.p**s1
     q_s1 = private.q**s1
-    u_p = pow(ciphertext % p_s1, private.d % (p_s1 // private.p * (private.p - 1)), p_s1)
-    u_q = pow(ciphertext % q_s1, private.d % (q_s1 // private.q * (private.q - 1)), q_s1)
+    u_p = bigint.powmod(
+        ciphertext % p_s1, private.d % (p_s1 // private.p * (private.p - 1)), p_s1
+    )
+    u_q = bigint.powmod(
+        ciphertext % q_s1, private.d % (q_s1 // private.q * (private.q - 1)), q_s1
+    )
     u = crt_pair(u_p, p_s1, u_q, q_s1)
     return dlog_1_plus_n(public, u)

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import random
 
+from . import bigint
+
 __all__ = [
     "FixedBaseTable",
     "is_probable_prime",
@@ -52,7 +54,14 @@ class FixedBaseTable:
     exponent distribution up front.
     """
 
-    __slots__ = ("base", "modulus", "window_bits", "max_exponent_bits", "_rows")
+    __slots__ = (
+        "base",
+        "modulus",
+        "window_bits",
+        "max_exponent_bits",
+        "_rows",
+        "_native",
+    )
 
     def __init__(
         self,
@@ -73,18 +82,56 @@ class FixedBaseTable:
         self.max_exponent_bits = max_exponent_bits
         windows = -(-max_exponent_bits // window_bits)  # ceil division
         digits = (1 << window_bits) - 1  # non-zero digits per window
+        # Build on the active bigint backend's native representation and
+        # keep both forms: plain ints for pickling/serialization, native
+        # values as the evaluation cache.
+        mod_native = bigint.to_native(modulus)
         rows: list[list[int]] = []
-        b = self.base  # base^(2^(i·w)) for the current window i
+        native_rows: list[list] = []
+        b = bigint.to_native(self.base)  # base^(2^(i·w)) for window i
         for _ in range(windows):
             row = [b]
             acc = b
             for _ in range(digits - 1):
-                acc = acc * b % modulus
+                acc = acc * b % mod_native
                 row.append(acc)
-            rows.append(row)
+            native_rows.append(row)
+            rows.append([int(v) for v in row])
             # base^(2^((i+1)·w)) = (b^(2^w - 1)) · b = row[-1] · b
-            b = row[-1] * b % modulus
+            b = row[-1] * b % mod_native
         self._rows = rows
+        self._native = (bigint.active_backend(), native_rows, mod_native)
+
+    def _native_rows(self) -> tuple[list[list], object]:
+        """The rows/modulus on the *current* backend's native type.
+
+        Rebuilt lazily when the process-global bigint backend changed since
+        construction (or after unpickling, which drops the cache).
+        """
+        backend = bigint.active_backend()
+        if self._native is None or self._native[0] != backend:
+            self._native = (
+                backend,
+                [[bigint.to_native(v) for v in row] for row in self._rows],
+                bigint.to_native(self.modulus),
+            )
+        return self._native[1], self._native[2]
+
+    def __getstate__(self) -> dict:
+        # The native cache may hold backend-specific types (mpz) and is
+        # cheap to rebuild — ship only the plain-int table.
+        return {
+            "base": self.base,
+            "modulus": self.modulus,
+            "window_bits": self.window_bits,
+            "max_exponent_bits": self.max_exponent_bits,
+            "_rows": self._rows,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._native = None
 
     def pow(self, exponent: int) -> int:
         """Return ``base^exponent mod modulus`` using the precomputed rows."""
@@ -92,16 +139,17 @@ class FixedBaseTable:
             raise ValueError(
                 f"exponent must be in [0, 2^{self.max_exponent_bits})"
             )
+        rows, modulus = self._native_rows()
         mask = (1 << self.window_bits) - 1
         result = 1
         window = 0
         while exponent:
             digit = exponent & mask
             if digit:
-                result = result * self._rows[window][digit - 1] % self.modulus
+                result = result * rows[window][digit - 1] % modulus
             exponent >>= self.window_bits
             window += 1
-        return result % self.modulus
+        return int(result % modulus)
 
 _SMALL_PRIMES = (
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
@@ -127,7 +175,7 @@ def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None
         r += 1
     for _ in range(rounds):
         a = rng.randrange(2, n - 1)
-        x = pow(a, d, n)
+        x = bigint.powmod(a, d, n)
         if x == 1 or x == n - 1:
             continue
         for _ in range(r - 1):
@@ -206,6 +254,12 @@ _SAFE_PRIME_FIXTURES: dict[int, list[int]] = {
         8902618841226777744087376015252960596822130929463558165775471057200643476867370673965452079050688822740064711760718600883759533800788613842821598646523739,
         11656412083879556716356238818586996911779792073617729316841015719806471236162925040777059926007461641726332683874769440713171951622638274026554998855224679,
     ],
+    1024: [
+        172566520780718927005566931585710880089337578227696480607696890652502743361241263182240830426828162270532966250711870154546205372931098797188652127426584609710909450244490412671178574054358952088250258855369066803107800256448243163616092280447618244260182715198635843336861211808552157596387038222975918621619,
+        145380619645005229640558065143794950097440559009253440597082340632999731661573996636521820135332413068781392546932029428922968506437747871760044875334172310678622614187067119587378010600309699938473354747218828433455209147870097113396654664834610285578873233848139480940746720704957238369748632273889479506503,
+        155297592070212356302711952057147281821703665806060163101546477196320723443014992996071791766240662623222305596630715003662443276680541317940740112566774159676643827071895730457717014072754595344522594118779040813555539893161556648108406607795712287283902195096275840602966000692135297130772353946857523339103,
+        116570906493454959233032341422202108218388732780268301905856834774776051703224298991666006445033880552744938445299187543335263653234756814515622519734484961709028505163915790457359056521464713702296209945684451613675081648658672416642654802201184397099565603409554766431712583675687475752830000289341019212499,
+    ],
 }
 
 
@@ -233,8 +287,12 @@ def fixture_safe_primes(bits: int, count: int = 2) -> list[int]:
 
 
 def modinv(a: int, m: int) -> int:
-    """Return the inverse of ``a`` modulo ``m`` (raises if not invertible)."""
-    return pow(a, -1, m)
+    """Return the inverse of ``a`` modulo ``m`` (raises if not invertible).
+
+    Routed through the pluggable :mod:`repro.crypto.bigint` kernel, so
+    every existing call site inherits the gmpy2 fast path when selected.
+    """
+    return bigint.invert(a, m)
 
 
 def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:

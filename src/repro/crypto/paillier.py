@@ -6,7 +6,10 @@ expansion can say ``paillier.encrypt(...)`` and get the familiar
 ``c = (1+n)^a · r^n mod n²`` behaviour.  All functions delegate to
 :mod:`repro.crypto.damgard_jurik` with ``s = 1``; the batched entry points
 (:func:`encrypt_batch`, :func:`add_batch`, :func:`fast_encryptor`) expose
-the amortized plane at the same facade.
+the amortized plane at the same facade.  Like the rest of the crypto
+plane, every modexp/inverse underneath routes through the pluggable
+:mod:`repro.crypto.bigint` kernel, so the facade inherits the gmpy2 fast
+path (bit-identically) when that backend is selected.
 """
 
 from __future__ import annotations

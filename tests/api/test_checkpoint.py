@@ -118,6 +118,37 @@ class TestCheckpointHygiene:
         with pytest.raises(ValueError, match="different spec"):
             Experiment.from_spec(other).run(checkpoint_dir=directory)
 
+    def test_resume_under_different_bigint_backend(self, tmp_path):
+        """The kernel is a result-neutral speed knob: switching it between
+        interruption and resume must not trip the spec-identity check, and
+        the resumed run stays bit-identical."""
+        spec = spec_for("quality")
+        assert spec.params.bigint_backend == "auto"
+        directory = str(tmp_path / "kernel-swap")
+        run_interrupted(spec, directory, 2)
+        swapped_dict = spec.to_dict()
+        swapped_dict["params"]["bigint_backend"] = "python"
+        swapped = RunSpec.from_dict(swapped_dict)
+        resumed = Experiment.from_spec(swapped).run(checkpoint_dir=directory)
+        assert_bit_identical(resumed, Experiment.from_spec(spec).run())
+
+    def test_resume_checkpoint_written_before_bigint_knob_existed(self, tmp_path):
+        """Pre-PR checkpoints (params dict without 'bigint_backend') must
+        keep resuming."""
+        import json
+
+        spec = spec_for("quality")
+        directory = str(tmp_path / "pre-knob")
+        run_interrupted(spec, directory, 2)
+        store = CheckpointStore(directory)
+        # Age the newest checkpoint in place: drop the knob from its spec.
+        path = max(store.directory.glob("checkpoint_*.json"))
+        payload = json.loads(path.read_text())
+        del payload["spec"]["params"]["bigint_backend"]
+        path.write_text(json.dumps(payload))
+        resumed = Experiment.from_spec(spec).run(checkpoint_dir=directory)
+        assert_bit_identical(resumed, Experiment.from_spec(spec).run())
+
     def test_no_resume_flag_restarts(self, tmp_path):
         spec = spec_for("quality")
         directory = str(tmp_path / "restart")

@@ -11,6 +11,8 @@ from repro.api import (
     RunCompleted,
     RunSpec,
     RunStarted,
+    run_environment,
+    run_record,
 )
 from repro.core import ChiaroscuroRun, ClusteringResult, perturbed_kmeans
 from repro.core.perturbed_kmeans import PerturbationOptions
@@ -128,6 +130,31 @@ class TestEvents:
         assert spent[-1] == pytest.approx(0.69)
         assert events[-1].epsilon_remaining == pytest.approx(0.0)
         assert all(e.active_series == 300 for e in events)  # no churn
+
+    def test_run_started_surfaces_crypto_environment(self):
+        events = list(Experiment.from_spec(quality_spec()).run_iter())
+        started = events[0]
+        assert started.crypto_backend == "serial"
+        # Resolved, never "auto" — records which arithmetic actually ran.
+        assert started.bigint_backend in ("python", "gmpy2")
+        assert started.key_bits == 0  # quality plane builds no ciphertexts
+
+    def test_run_record_carries_environment_block(self):
+        spec = quality_spec()
+        result = Experiment.from_spec(spec).run()
+        record = run_record(spec, result)
+        assert record["environment"] == run_environment(spec)
+        assert record["environment"]["bigint_backend"] in ("python", "gmpy2")
+        assert record["environment"]["crypto_backend"] == "serial"
+        assert record["environment"]["key_bits"] == 0
+
+    def test_object_plane_environment_reports_key_bits(self):
+        spec = quality_spec(plane="object",
+                            params={"k": 4, "max_iterations": 5,
+                                    "epsilon": 0.69, "theta": 0.0,
+                                    "key_bits": 256,
+                                    "protocol_plane": "object"})
+        assert run_environment(spec)["key_bits"] == 256
 
     def test_early_stop_by_breaking(self):
         seen = []

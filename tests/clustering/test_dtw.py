@@ -10,6 +10,7 @@ from repro.clustering import (
     dtw_distance,
     dtw_pairwise,
     dtw_path,
+    lb_keogh,
 )
 from repro.clustering.dtw import _cost_matrix, _cost_matrix_reference
 
@@ -135,3 +136,79 @@ class TestWavefrontEquivalence:
             dtw_pairwise(series, centroids, chunk_size=7),
             dtw_pairwise(series, centroids, chunk_size=2048),
         )
+
+
+class TestLBKeoghPruning:
+    @pytest.mark.parametrize("window", [None, 0, 1, 3])
+    def test_lb_is_a_lower_bound(self, window):
+        rng = np.random.default_rng(11)
+        series = rng.normal(size=(25, 12))
+        centroids = rng.normal(size=(4, 12))
+        bounds = lb_keogh(series, centroids, window)
+        exact = dtw_pairwise(series, centroids, window)
+        assert (bounds <= exact + 1e-9).all()
+
+    @pytest.mark.parametrize("window", [None, 2])
+    def test_pruned_assign_exact_vs_reference(self, window):
+        """The acceptance test: pruning never changes an assignment."""
+        rng = np.random.default_rng(12)
+        # Clustered data (pruning actually fires) plus uniform noise rows
+        # (near-ties stress the tie-breaking).
+        centers = rng.normal(scale=4.0, size=(6, 9))
+        series = np.concatenate(
+            [
+                centers[rng.integers(0, 6, size=40)] + rng.normal(size=(40, 9)),
+                rng.uniform(-1, 1, size=(10, 9)),
+            ]
+        )
+        centroids = centers + rng.normal(scale=0.1, size=centers.shape)
+        expected = dtw_assign_reference(series, centroids, window)
+        assert np.array_equal(dtw_assign(series, centroids, window), expected)
+        assert np.array_equal(
+            dtw_assign(series, centroids, window, prune=False), expected
+        )
+
+    def test_near_tie_ulp_noise_not_mispruned(self):
+        """Regression: a centroid perturbed by 1e-13 produces DTW distances
+        equal up to ulps, and the *computed* LB can land above the computed
+        distance — the slack in the pruning gate must keep the lower-index
+        candidate evaluated."""
+        rng = np.random.default_rng(1)
+        for trial in range(302):
+            series = rng.normal(size=(20, 12))
+            c0 = rng.normal(size=12)
+            centroids = np.stack([c0 + 1e-13 * rng.normal(size=12), c0])
+            if trial < 40:  # broad sweep over windows on the early trials
+                for window in (0, 1, None):
+                    assert np.array_equal(
+                        dtw_assign(series, centroids, window),
+                        dtw_assign_reference(series, centroids, window),
+                    )
+        # Trial 301 of this stream is a found counterexample for a slackless
+        # gate (computed LB lands ulps above the computed distance): row 6
+        # was assigned centroid 1 instead of the tie-broken 0.
+        assert np.array_equal(
+            dtw_assign(series, centroids, 0),
+            dtw_assign_reference(series, centroids, 0),
+        )
+
+    def test_duplicate_centroids_tie_break_to_lowest_index(self):
+        rng = np.random.default_rng(13)
+        series = rng.normal(size=(12, 7))
+        one = rng.normal(size=7)
+        centroids = np.stack([one + 5.0, one, one])  # indices 1 and 2 tie
+        assert np.array_equal(
+            dtw_assign(series, centroids),
+            dtw_assign_reference(series, centroids),
+        )
+
+    def test_unequal_lengths_fall_back_unpruned(self):
+        rng = np.random.default_rng(14)
+        series = rng.normal(size=(9, 10))
+        centroids = rng.normal(size=(3, 8))
+        assert np.array_equal(
+            dtw_assign(series, centroids),
+            dtw_assign_reference(series, centroids),
+        )
+        with pytest.raises(ValueError):
+            lb_keogh(series, centroids)

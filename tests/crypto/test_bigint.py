@@ -1,0 +1,342 @@
+"""Tests for the pluggable bigint kernel (:mod:`repro.crypto.bigint`).
+
+Two layers:
+
+* kernel unit tests — every primitive against its naive counterpart on the
+  always-available python backend;
+* cross-backend property tests — random 512-bit keys/plaintexts/scalars
+  asserting *bit-identical* ciphertexts, homomorphic sums, scalar
+  multiplications and threshold decryptions between the ``python`` and
+  ``gmpy2`` backends.  The gmpy2 leg auto-skips when the package is absent
+  (the soft-dependency boundary under test in CI's default leg).
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.crypto import bigint
+from repro.crypto.backend import SerialBackend
+from repro.crypto.damgard_jurik import (
+    FastEncryptor,
+    decrypt,
+    encrypt,
+    generate_keypair,
+    homomorphic_add,
+    homomorphic_scalar_mul,
+)
+from repro.crypto.numtheory import FixedBaseTable, modinv
+from repro.crypto.threshold import (
+    combine_partial_decryptions,
+    generate_threshold_keypair,
+    partial_decrypt,
+)
+
+GMPY2 = "gmpy2" in bigint.available_backends()
+needs_gmpy2 = pytest.mark.skipif(
+    not GMPY2, reason="gmpy2 not installed (python backend is the default)"
+)
+
+M = (1 << 607) - 1  # a Mersenne prime: every nonzero value is invertible
+
+
+class TestSelection:
+    def test_python_always_available(self):
+        assert "python" in bigint.available_backends()
+        assert bigint.resolve_backend("python") == "python"
+
+    def test_active_is_concrete(self):
+        assert bigint.active_backend() in ("python", "gmpy2")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown bigint backend"):
+            bigint.resolve_backend("fft")
+
+    def test_env_var_drives_auto(self, monkeypatch):
+        monkeypatch.setenv(bigint.BACKEND_ENV, "python")
+        assert bigint.resolve_backend("auto") == "python"
+        monkeypatch.setenv(bigint.BACKEND_ENV, "nonsense")
+        with pytest.raises(ValueError, match="unknown bigint backend"):
+            bigint.resolve_backend("auto")
+
+    def test_explicit_name_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(bigint.BACKEND_ENV, "python")
+        assert bigint.resolve_backend("python") == "python"
+
+    def test_gmpy2_request_without_package_is_loud(self):
+        if GMPY2:
+            assert bigint.resolve_backend("gmpy2") == "gmpy2"
+        else:
+            with pytest.raises(ValueError, match="not installed"):
+                bigint.resolve_backend("gmpy2")
+
+    def test_use_backend_restores(self):
+        before = bigint.active_backend()
+        with bigint.use_backend("python") as name:
+            assert name == "python" == bigint.active_backend()
+        assert bigint.active_backend() == before
+
+
+class TestKernelPrimitives:
+    def test_powmod_matches_builtin(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            b, e = rng.getrandbits(512), rng.getrandbits(256)
+            assert bigint.powmod(b, e, M) == pow(b, e, M)
+
+    def test_powmod_negative_exponent(self):
+        assert bigint.powmod(3, -5, M) == pow(3, -5, M)
+
+    def test_powmod_non_invertible_raises(self):
+        with pytest.raises(ValueError):
+            bigint.powmod(6, -1, 9)
+
+    def test_powmod_batch(self):
+        rng = random.Random(1)
+        bases = [rng.getrandbits(512) for _ in range(17)]
+        e = rng.getrandbits(300)
+        assert bigint.powmod_batch(bases, e, M) == [pow(b, e, M) for b in bases]
+        assert bigint.powmod_batch([], e, M) == []
+
+    def test_invert_matches_modinv(self):
+        rng = random.Random(2)
+        for _ in range(10):
+            v = rng.randrange(1, M)
+            assert bigint.invert(v, M) == modinv(v, M) == pow(v, -1, M)
+
+    def test_invert_batch_montgomery_trick(self):
+        rng = random.Random(3)
+        values = [rng.randrange(1, M) for _ in range(33)]
+        assert bigint.invert_batch(values, M) == [modinv(v, M) for v in values]
+
+    def test_invert_batch_edge_cases(self):
+        assert bigint.invert_batch([], M) == []
+        assert bigint.invert_batch([42], M) == [modinv(42, M)]
+        with pytest.raises(ValueError):
+            bigint.invert_batch([5, 6, 7], 9)  # gcd(6, 9) != 1
+
+    def test_mulmod_reduce(self):
+        rng = random.Random(4)
+        values = [rng.getrandbits(600) for _ in range(21)]
+        assert bigint.mulmod_reduce(values, M) == math.prod(values) % M
+        assert bigint.mulmod_reduce([], M) == 1
+
+    @pytest.mark.parametrize("count", [1, 2, 4, 5, 9, 13])
+    def test_multi_powmod_matches_product_of_pows(self, count):
+        """Counts straddle the Straus group size (4) on both sides."""
+        rng = random.Random(count)
+        bases = [rng.getrandbits(512) for _ in range(count)]
+        exps = [rng.randrange(-(1 << 300), 1 << 300) for _ in range(count)]
+        expected = 1
+        for b, e in zip(bases, exps):
+            expected = expected * pow(b, e, M) % M
+        assert bigint.multi_powmod(bases, exps, M) == expected
+
+    def test_multi_powmod_edge_cases(self):
+        assert bigint.multi_powmod([], [], M) == 1
+        assert bigint.multi_powmod([7, 11], [0, 0], M) == 1
+        assert bigint.multi_powmod([7], [5], M) == pow(7, 5, M)
+        with pytest.raises(ValueError):
+            bigint.multi_powmod([1, 2], [3], M)
+
+
+def _random_key_material(seed: int):
+    """A 512-bit keypair plus threshold twin (deterministic per seed)."""
+    private = generate_keypair(512, rng=random.Random(seed))
+    threshold = generate_threshold_keypair(
+        512, n_shares=7, threshold=4, rng=random.Random(seed)
+    )
+    return private, threshold
+
+
+@needs_gmpy2
+class TestCrossBackendIdentity:
+    """Bit-identical crypto outputs between the python and gmpy2 kernels."""
+
+    def _both(self, fn):
+        with bigint.use_backend("python"):
+            py = fn()
+        with bigint.use_backend("gmpy2"):
+            gm = fn()
+        return py, gm
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_kernel_primitives_identical(self, seed):
+        rng = random.Random(seed)
+        bases = [rng.getrandbits(512) for _ in range(9)]
+        exps = [rng.randrange(-(1 << 256), 1 << 256) for _ in range(9)]
+        e = rng.getrandbits(512)
+        for fn in (
+            lambda: bigint.powmod(bases[0], e, M),
+            lambda: bigint.powmod_batch(bases, e, M),
+            lambda: bigint.invert_batch(bases, M),
+            lambda: bigint.mulmod_reduce(bases, M),
+            lambda: bigint.multi_powmod(bases, exps, M),
+        ):
+            py, gm = self._both(fn)
+            assert py == gm
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_ciphertexts_bit_identical(self, seed):
+        private, _ = _random_key_material(seed)
+        public = private.public
+        rng = random.Random(seed)
+        plaintexts = [rng.randrange(public.n_s) for _ in range(5)]
+        py, gm = self._both(
+            lambda: [
+                encrypt(public, m, rng=random.Random(1000 + i))
+                for i, m in enumerate(plaintexts)
+            ]
+        )
+        assert py == gm
+        for c, m in zip(py, plaintexts):
+            assert decrypt(private, c) == m
+
+    @pytest.mark.parametrize("seed", [20, 21])
+    def test_fast_encryptor_and_backend_batches_identical(self, seed):
+        private, _ = _random_key_material(seed)
+        public = private.public
+        plaintexts = [i * 7919 for i in range(12)]
+
+        def batch():
+            encryptor = FastEncryptor(public, random.Random(seed))
+            backend = SerialBackend(encryptor)
+            return backend.encrypt_batch(public, plaintexts, random.Random(seed))
+
+        py, gm = self._both(batch)
+        assert py == gm
+        assert [decrypt(private, c) for c in py] == plaintexts
+
+    @pytest.mark.parametrize("seed", [30, 31])
+    def test_homomorphic_sum_and_scalar_mul_identical(self, seed):
+        private, _ = _random_key_material(seed)
+        public = private.public
+        rng = random.Random(seed)
+        a, b = rng.randrange(1 << 64), rng.randrange(1 << 64)
+        scalar = rng.randrange(-(1 << 32), 1 << 32)
+        c1 = encrypt(public, a, rng=random.Random(seed + 1))
+        c2 = encrypt(public, b, rng=random.Random(seed + 2))
+
+        py, gm = self._both(
+            lambda: (
+                homomorphic_add(public, c1, c2),
+                homomorphic_scalar_mul(public, c1, scalar),
+            )
+        )
+        assert py == gm
+        assert decrypt(private, py[0]) == a + b
+        assert decrypt(private, py[1]) == a * scalar % public.n_s
+
+    @pytest.mark.parametrize("seed", [40, 41])
+    def test_threshold_decryption_identical(self, seed):
+        _, keypair = _random_key_material(seed)
+        rng = random.Random(seed)
+        value = rng.randrange(1 << 80)
+        ciphertext = encrypt(keypair.public, value, rng=random.Random(seed + 1))
+        subset = random.Random(seed + 2).sample(keypair.shares, 4)
+
+        def run():
+            partials = {
+                s.index: partial_decrypt(keypair.context, s, ciphertext)
+                for s in subset
+            }
+            return partials, combine_partial_decryptions(keypair.context, partials)
+
+        (py_partials, py_value), (gm_partials, gm_value) = self._both(run)
+        assert py_partials == gm_partials
+        assert py_value == gm_value == value
+
+    def test_fixed_base_table_identical_and_cache_swaps(self):
+        table = FixedBaseTable(3, M, 256)
+        e = random.Random(50).getrandbits(256)
+        py, gm = self._both(lambda: table.pow(e))
+        assert py == gm == pow(3, e, M)
+
+    def test_decrypt_crt_identical(self):
+        private, _ = _random_key_material(60)
+        c = encrypt(private.public, 123456789, rng=random.Random(61))
+        py, gm = self._both(lambda: decrypt(private, c))
+        assert py == gm == 123456789
+
+
+class TestRunScopedSelection:
+    def test_explicit_run_kernel_does_not_leak_into_process_global(self):
+        """A spec'd bigint_backend is scoped to the run (construction and
+        iteration), never a lasting process-global mutation."""
+        import numpy as np
+
+        from repro.core import ChiaroscuroRun
+        from repro.core.config import ChiaroscuroParams
+        from repro.datasets.timeseries import TimeSeriesSet
+        from repro.privacy.budget import Greedy
+
+        before = bigint.active_backend()
+        rng = np.random.default_rng(0)
+        ds = TimeSeriesSet(
+            values=rng.uniform(0, 2, size=(6, 4)), dmin=0, dmax=2, name="toy"
+        )
+        params = ChiaroscuroParams(
+            k=2, max_iterations=1, theta=0.0, view_size=2, exchanges=3,
+            key_bits=256, epsilon=1e6, bigint_backend="python",
+        )
+        run = ChiaroscuroRun(
+            ds, Greedy(1e6), params, ds.values[:2].copy(), key_bits=256, seed=0
+        )
+        assert run.bigint_backend == "python"
+        assert bigint.active_backend() == before  # untouched by __init__
+        list(run.run_iter())
+        assert bigint.active_backend() == before  # restored after the run
+
+    def test_powmod_batch_error_type_matches_contract(self):
+        with pytest.raises(ValueError):
+            bigint.powmod_batch([4], -1, 8)
+
+    def test_interleaved_streamed_runs_restore_between_yields(self):
+        """Per-iteration kernel scoping: at every suspension point of a
+        streamed run the process-global selection is restored, so two
+        interleaved runs (possibly on different kernels) never see each
+        other's choice and nothing leaks after exhaustion."""
+        import numpy as np
+
+        from repro.core import ChiaroscuroRun
+        from repro.core.config import ChiaroscuroParams
+        from repro.datasets.timeseries import TimeSeriesSet
+        from repro.privacy.budget import Greedy
+
+        before = bigint.active_backend()
+        rng = np.random.default_rng(1)
+        ds = TimeSeriesSet(
+            values=rng.uniform(0, 2, size=(6, 4)), dmin=0, dmax=2, name="toy"
+        )
+        kernels = ("python", "gmpy2") if GMPY2 else ("python", "python")
+
+        def start(kernel):
+            params = ChiaroscuroParams(
+                k=2, max_iterations=2, theta=0.0, view_size=2, exchanges=3,
+                key_bits=256, epsilon=1e6, bigint_backend=kernel,
+            )
+            run = ChiaroscuroRun(
+                ds, Greedy(1e6), params, ds.values[:2].copy(),
+                key_bits=256, seed=0,
+            )
+            return run.run_iter()
+
+        g1, g2 = start(kernels[0]), start(kernels[1])
+        next(g1)
+        assert bigint.active_backend() == before  # restored at the yield
+        next(g2)
+        assert bigint.active_backend() == before
+        for g in (g1, g2):
+            for _ in g:
+                pass
+        assert bigint.active_backend() == before
+
+
+class TestFixedBaseTablePickle:
+    def test_pickle_drops_native_cache_and_still_evaluates(self):
+        table = FixedBaseTable(5, M, 128)
+        clone = pickle.loads(pickle.dumps(table))
+        e = random.Random(70).getrandbits(128)
+        assert clone.pow(e) == table.pow(e) == pow(5, e, M)
