@@ -1,7 +1,10 @@
 """Figure 3 — impact of churn.
 
 (a) evolution of the pre-perturbation inertia under per-iteration churn
-    {0, 0.1, 0.25, 0.5} for G_SMA on the CER-like workload;
+    {0, 0.1, 0.25, 0.5} for G_SMA on the CER-like workload — the four
+    variants are submitted as one batch to the experiment service and
+    executed concurrently (one worker process per churn rate), so this
+    bench doubles as the service's sweep-workload exercise;
 (b) relative error of the epidemic (encrypted-equivalent) sum after 100
     messages per participant, populations 1K → 1M, per-exchange churn
     {0.1, 0.25, 0.5}, all-ones data — twice: once on the cleartext
@@ -12,14 +15,13 @@
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
-import pytest
 
 from conftest import record_json, record_report, record_runs
-from repro.api import Experiment, RunSpec, run_record
+from repro.api import Experiment, RunSpec
+from repro.core.results import ClusteringResult
 from repro.gossip import PushPullSumSimulator, VectorizedEESum, VectorizedGossipEngine
+from repro.service import run_batch
 
 ITERATIONS = 10
 CHURNS_QUALITY = (0.0, 0.1, 0.25, 0.5)
@@ -43,7 +45,7 @@ def churn_spec(churn: float, max_iterations: int = ITERATIONS) -> RunSpec:
     })
 
 
-def test_fig3a_churn_quality(benchmark):
+def test_fig3a_churn_quality(benchmark, tmp_path):
     data = Experiment.from_spec(churn_spec(0.0)).context.dataset
 
     benchmark.pedantic(
@@ -52,17 +54,19 @@ def test_fig3a_churn_quality(benchmark):
         iterations=1,
     )
 
+    # The sweep itself goes through the experiment service: one batch of
+    # specs, drained by a process-per-job scheduler (records come back in
+    # submit order, each a chiaroscuro-run/v1 dict from the job's worker).
+    records = run_batch(
+        [churn_spec(churn) for churn in CHURNS_QUALITY],
+        root=tmp_path / "service-root",
+        max_workers=len(CHURNS_QUALITY),
+    )
+
     rows = [f"{'series':<14}" + "".join(f"{i:>9d}" for i in range(1, ITERATIONS + 1))]
-    records: list[dict] = []
     curves = {}
-    for churn in CHURNS_QUALITY:
-        spec = churn_spec(churn)
-        started = time.perf_counter()
-        result = Experiment.from_spec(spec).run()
-        records.append(run_record(
-            spec, result, timings={"wall_seconds": time.perf_counter() - started}
-        ))
-        pre = result.pre_inertia_curve
+    for churn, record in zip(CHURNS_QUALITY, records):
+        pre = ClusteringResult.from_dict(record["result"]).pre_inertia_curve
         pre = pre + [pre[-1]] * (ITERATIONS - len(pre))
         curves[churn] = pre
         tag = "G_SMA" if churn == 0 else f"G_SMA c={churn}"

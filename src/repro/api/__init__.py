@@ -31,13 +31,14 @@ Components:
   checkpoints; a killed quality/vectorized run resumes bit-identically.
 """
 
-from .checkpoint import Checkpoint, CheckpointStore
+from .checkpoint import Checkpoint, CheckpointStore, atomic_write_text
 from .events import (
     CheckpointSaved,
     IterationCompleted,
     RunCompleted,
     RunEvent,
     RunStarted,
+    event_to_dict,
 )
 from .experiment import (
     RESULT_SCHEMA,
@@ -85,6 +86,8 @@ __all__ = [
     "RunSpec",
     "RunStarted",
     "STRATEGIES",
+    "atomic_write_text",
+    "event_to_dict",
     "register_dataset",
     "register_initializer",
     "register_plane",

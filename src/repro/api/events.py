@@ -26,6 +26,7 @@ __all__ = [
     "RunCompleted",
     "RunEvent",
     "RunStarted",
+    "event_to_dict",
 ]
 
 
@@ -83,3 +84,62 @@ class RunCompleted:
 
 
 RunEvent = Union[RunStarted, IterationCompleted, CheckpointSaved, RunCompleted]
+
+
+def event_to_dict(event: RunEvent) -> dict:
+    """Flatten a run event to a JSON-ready dict with a ``"type"`` tag.
+
+    This is the wire form of the event stream — what the service appends
+    to its NDJSON logs and what any future push transport would send.  The
+    heavyweight payloads stay out: ``RunStarted.spec`` lives in the job
+    record and ``RunCompleted.result`` in the run record, so event lines
+    stay one-screen greppable.
+    """
+    if isinstance(event, RunStarted):
+        return {
+            "type": "run_started",
+            "label": event.label,
+            "dataset": event.dataset_name,
+            "t": event.t,
+            "n": event.n,
+            "population": event.population,
+            "sum_sensitivity": event.sum_sensitivity,
+            "resumed_iteration": event.resumed_iteration,
+            "crypto_backend": event.crypto_backend,
+            "bigint_backend": event.bigint_backend,
+            "key_bits": event.key_bits,
+        }
+    if isinstance(event, IterationCompleted):
+        stats = event.stats
+        return {
+            "type": "iteration_completed",
+            "iteration": stats.iteration,
+            "pre_inertia": stats.pre_inertia,
+            "post_inertia": stats.post_inertia,
+            "n_centroids": stats.n_centroids,
+            "epsilon_spent": stats.epsilon_spent,
+            "epsilon_spent_total": event.epsilon_spent_total,
+            "epsilon_remaining": event.epsilon_remaining,
+            "active_series": event.active_series,
+            "agreement": event.agreement,
+            "exchanges_per_node": event.exchanges_per_node,
+        }
+    if isinstance(event, CheckpointSaved):
+        return {
+            "type": "checkpoint_saved",
+            "iteration": event.iteration,
+            "path": str(event.path),
+        }
+    if isinstance(event, RunCompleted):
+        return {
+            "type": "run_completed",
+            "reason": event.reason,
+            "iterations": event.result.iterations,
+            "converged": event.result.converged,
+            "n_centroids": (
+                event.result.history[-1].n_centroids
+                if event.result.history
+                else 0
+            ),
+        }
+    raise TypeError(f"not a run event: {type(event).__name__}")

@@ -21,6 +21,15 @@ form)::
 ``costs``     the Fig. 5 cost/bandwidth sheet for a key size::
 
     python -m repro costs --key-bits 1024 --k 50 --length 20
+
+``serve``/``submit``/``jobs``/``tail``   the experiment service: a durable
+job queue under ``--root``, executed by a concurrent scheduler that
+survives kills by resuming from checkpoints::
+
+    python -m repro submit batch.json --root runs
+    python -m repro serve --root runs --max-workers 8 --drain
+    python -m repro jobs --root runs
+    python -m repro tail --root runs <job-id>
 """
 
 from __future__ import annotations
@@ -93,6 +102,49 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--population", type=int, default=1_000_000)
     plan.add_argument("--iterations", type=int, default=10)
     plan.add_argument("--length", type=int, default=24)
+
+    serve = sub.add_parser(
+        "serve", help="run the experiment server over a service root"
+    )
+    serve.add_argument("--root", metavar="DIR", default="service-root",
+                       help="service root directory (default: service-root)")
+    serve.add_argument("--max-workers", type=int, default=4,
+                       help="concurrent worker processes (default: 4)")
+    serve.add_argument("--poll", type=float, default=0.2, metavar="SECONDS",
+                       help="scheduler poll interval (default: 0.2)")
+    serve.add_argument("--drain", action="store_true",
+                       help="exit once the queue is empty instead of "
+                            "serving forever")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="with --drain: give up after this many seconds")
+
+    submit = sub.add_parser(
+        "submit", help="enqueue RunSpec JSON files (object or array per file)"
+    )
+    submit.add_argument("specs", nargs="+", metavar="SPEC",
+                        help="spec files; each holds one spec object or a "
+                             "JSON array of specs (a batch)")
+    submit.add_argument("--root", metavar="DIR", default="service-root")
+
+    jobs = sub.add_parser("jobs", help="list the service root's jobs")
+    jobs.add_argument("--root", metavar="DIR", default="service-root")
+    jobs.add_argument("--state", choices=("queued", "running", "completed",
+                                          "failed"),
+                      default=None, help="only jobs in this state")
+    jobs.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable output (one JSON array)")
+
+    tail = sub.add_parser(
+        "tail", help="print a job's event log (or the combined feed)"
+    )
+    tail.add_argument("job", nargs="?", default=None,
+                      help="job id (omit for the combined feed)")
+    tail.add_argument("--root", metavar="DIR", default="service-root")
+    tail.add_argument("--follow", action="store_true",
+                      help="keep following appends (Ctrl-C to stop)")
+    tail.add_argument("--raw", action="store_true",
+                      help="print raw NDJSON records instead of the "
+                           "rendered form")
 
     costs = sub.add_parser("costs", help="Fig. 5 cost/bandwidth sheet")
     costs.add_argument("--key-bits", type=int, default=1024)
@@ -198,6 +250,151 @@ def _run_cluster(args, spec, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from .service import JobState, JobStore, Scheduler
+
+    if args.timeout is not None and not args.drain:
+        print("error: --timeout only applies with --drain "
+              "(a foreground server runs until interrupted)", file=out)
+        return 2
+    store = JobStore(args.root)
+    scheduler = Scheduler(
+        store, max_workers=args.max_workers, poll_interval=args.poll
+    )
+    recovered = scheduler.recover()
+    for job in recovered:
+        print(f"recovered {job.job_id} (re-queued; will resume from its "
+              f"latest checkpoint)", file=out)
+    print(f"serving {store.root} with {args.max_workers} worker(s)", file=out)
+    if args.drain:
+        # Score only the jobs this drain is responsible for: a job that
+        # failed terminally in some *previous* session must not make
+        # every future drain exit 1 forever.
+        watched = {
+            job.job_id
+            for job in store.in_state(JobState.QUEUED, JobState.RUNNING)
+        }
+        try:
+            jobs = [
+                job for job in scheduler.drain(timeout=args.timeout)
+                if job.job_id in watched
+            ]
+        except TimeoutError as exc:
+            print(f"error: {exc}", file=out)
+            return 1
+        failed = [job for job in jobs if job.state == JobState.FAILED]
+        done = [job for job in jobs if job.state == JobState.COMPLETED]
+        print(f"drained: {len(done)} completed, {len(failed)} failed", file=out)
+        for job in failed:
+            print(f"  failed {job.job_id}: {job.error}", file=out)
+        return 1 if failed else 0
+    try:
+        scheduler.run_forever()
+    except KeyboardInterrupt:
+        print("interrupted; running jobs will resume on the next serve",
+              file=out)
+    return 0
+
+
+def _cmd_submit(args, out) -> int:
+    from .service import JobStore, load_specs
+
+    store = JobStore(args.root)
+    try:
+        # Load and validate every file before enqueuing anything, so a
+        # malformed later file cannot leave earlier files half-submitted.
+        specs = [spec for path in args.specs for spec in load_specs(path)]
+        jobs = store.submit_batch(specs)
+    except KeyError as exc:
+        # A spec dict missing a required block surfaces as KeyError.
+        print(f"error: spec is missing required block {exc}", file=out)
+        return 2
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    for job in jobs:
+        print(f"queued {job.job_id}", file=out)
+    print(f"{len(jobs)} job(s) submitted to {store.root}", file=out)
+    return 0
+
+
+def _cmd_jobs(args, out) -> int:
+    from .service import JobStore
+
+    store = JobStore(args.root)
+    jobs = store.jobs()
+    if args.state:
+        jobs = [job for job in jobs if job.state == args.state]
+    if args.as_json:
+        print(json.dumps([job.to_dict() for job in jobs], indent=2), file=out)
+        return 0
+    if not jobs:
+        print(f"no jobs in {store.root}", file=out)
+        return 0
+    print(f"{'job':<42} {'state':<10} {'plane':<11} {'strategy':<9} "
+          f"{'attempts':>8}", file=out)
+    for job in jobs:
+        print(f"{job.job_id:<42} {job.state:<10} "
+              f"{job.spec.get('plane', '?'):<11} "
+              f"{job.spec.get('strategy', '?'):<9} {job.attempts:>8}", file=out)
+    return 0
+
+
+def _render_event(record: dict) -> str:
+    job = record.get("job", "?")
+    kind = record.get("type", "?")
+    try:
+        detail = _render_detail(kind, record)
+    except (TypeError, ValueError, KeyError):
+        # A record from another version (or missing numeric fields) must
+        # not abort the whole tail; fall back to the raw line.
+        detail = json.dumps(record)
+    return f"[{job}] {kind} {detail}".rstrip()
+
+
+def _render_detail(kind: str, record: dict) -> str:
+    return {
+        "run_started": lambda r: (
+            f"label={r.get('label')} dataset={r.get('dataset')} "
+            f"resumed_after={r.get('resumed_iteration')}"
+        ),
+        "iteration_completed": lambda r: (
+            f"iteration={r.get('iteration')} "
+            f"pre_inertia={r.get('pre_inertia'):.2f} "
+            f"centroids={r.get('n_centroids')} "
+            f"eps_total={r.get('epsilon_spent_total'):.4f}"
+        ),
+        "checkpoint_saved": lambda r: f"iteration={r.get('iteration')}",
+        "run_completed": lambda r: (
+            f"reason={r.get('reason')} iterations={r.get('iterations')}"
+        ),
+        "job_completed": lambda r: f"wall={r.get('wall_seconds')}s",
+        "job_failed": lambda r: f"error={r.get('error')}",
+    }.get(kind, lambda r: "")(record)
+
+
+def _cmd_tail(args, out) -> int:
+    from .service import JobStore, tail_events
+
+    store = JobStore(args.root)
+    if args.job:
+        try:
+            store.get(args.job)
+        except KeyError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        path = store.events_path(args.job)
+    else:
+        path = store.feed_path
+    try:
+        for record in tail_events(path, follow=args.follow):
+            print(json.dumps(record) if args.raw else _render_event(record),
+                  file=out)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_plan(args, out) -> int:
     from .privacy import GossipPrivacyPlan
 
@@ -264,7 +461,15 @@ def main(argv: list[str] | None = None, out=None) -> int:
         parser.print_help(out)
         return 2
     args = parser.parse_args(argv)
-    handlers = {"cluster": _cmd_cluster, "plan": _cmd_plan, "costs": _cmd_costs}
+    handlers = {
+        "cluster": _cmd_cluster,
+        "plan": _cmd_plan,
+        "costs": _cmd_costs,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "tail": _cmd_tail,
+    }
     return handlers[args.command](args, out)
 
 

@@ -44,7 +44,13 @@ class ChurnModel:
 
         Guarantees at least one participant stays online (an empty
         population would be a different failure mode than churn).
+
+        Zero churn takes the same draw-free fast path as
+        :meth:`exchange_mask`: a churn-free run must not consume RNG
+        stream, so it stays bit-identical to a run without a churn model.
         """
+        if self.per_iteration == 0.0:
+            return np.ones(population, dtype=bool)
         mask = rng.random(population) >= self.per_iteration
         if not mask.any():
             mask[rng.integers(population)] = True

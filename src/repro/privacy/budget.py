@@ -132,7 +132,14 @@ def strategy_from_name(
     if label == "GF":
         return GreedyFloor(epsilon, floor_size=floor_size)
     if label.startswith("UF"):
-        if len(label) > 2:
-            uf_iterations = int(label[2:])
+        suffix = label[2:]
+        if suffix:
+            # Validate before int(): a malformed label like "UFx" must be
+            # "unknown budget strategy", not a raw int() ValueError.
+            # isdecimal, not isdigit: superscripts pass isdigit but int()
+            # rejects them.
+            if not suffix.isdecimal():
+                raise ValueError(f"unknown budget strategy {name!r}")
+            uf_iterations = int(suffix)
         return UniformFast(epsilon, n_iterations=uf_iterations)
     raise ValueError(f"unknown budget strategy {name!r}")

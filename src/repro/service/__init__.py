@@ -1,0 +1,50 @@
+"""repro.service — the always-on experiment server over ``repro.api``.
+
+PR 3 gave every frontend one declarative substrate: a :class:`RunSpec`
+executed by :class:`~repro.api.Experiment`, streaming typed run events
+and writing bit-identically-resumable checkpoints.  This package turns
+that substrate into a long-lived service, in the spirit of the paper's
+own always-on gossip deployment:
+
+* :class:`JobStore` — durable on-disk queue (``queued → running →
+  completed/failed``), one directory per job with its own checkpoint
+  store, event log and run record;
+* :class:`Scheduler` — executes up to ``max_workers`` jobs concurrently,
+  one worker *process* per job (the crypto planes parallelize across
+  cores, and each job makes its own backend/bigint selection);
+* the NDJSON event bus (:mod:`repro.service.bus`) — every job's
+  ``RunStarted``/``IterationCompleted``/``CheckpointSaved``/``RunCompleted``
+  stream multiplexed to per-job logs and one tailable combined feed;
+* crash recovery — any job found ``running`` at startup is re-enqueued
+  and resumed from its latest checkpoint, so a SIGKILL-ed server replays
+  nothing and loses nothing.
+
+CLI: ``repro serve`` / ``repro submit`` / ``repro jobs`` / ``repro tail``.
+
+Programmatic sweeps go through :func:`run_batch`::
+
+    from repro.service import run_batch
+    records = run_batch(specs, root="service-root", max_workers=4)
+"""
+
+# NOTE: repro.service.worker is intentionally NOT imported here — it is
+# the module workers execute via ``python -m repro.service.worker``, and
+# importing it from the package __init__ would trip runpy's
+# found-in-sys.modules warning in every spawned worker.
+from .batch import load_specs, run_batch
+from .bus import EventBus, append_ndjson, read_events, tail_events
+from .scheduler import Scheduler
+from .store import Job, JobState, JobStore
+
+__all__ = [
+    "EventBus",
+    "Job",
+    "JobState",
+    "JobStore",
+    "Scheduler",
+    "append_ndjson",
+    "load_specs",
+    "read_events",
+    "run_batch",
+    "tail_events",
+]

@@ -1,0 +1,181 @@
+"""Scheduler: run queued jobs in worker processes, survive crashes.
+
+The control loop is deliberately small — the durable truth lives in the
+:class:`~repro.service.store.JobStore`, so the scheduler only has to
+
+1. **recover** at startup: flip crash-marked ``running`` jobs back to
+   ``queued`` (their checkpoints make the re-run a resume);
+2. **launch**: claim queued jobs oldest-first and spawn one
+   ``repro.service.worker`` process each, up to ``max_workers``;
+3. **reap**: when a worker exits without having recorded an outcome
+   (killed, OOM, segfault — ``job.json`` still says ``running``), either
+   re-enqueue it for another attempt or fail it once ``max_attempts`` is
+   exhausted (a hard-crashing spec must not loop forever).
+
+SIGKILL-ing the whole server process group at any instant is therefore
+recoverable by construction: nothing in the loop holds state that is not
+re-derivable from the store at the next startup.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+from .bus import EventBus
+from .store import Job, JobState, JobStore
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Execute a :class:`JobStore`'s queue, ``max_workers`` jobs at a time."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        max_workers: int = 4,
+        poll_interval: float = 0.2,
+        max_attempts: int = 3,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.store = store
+        self.max_workers = max_workers
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+        self._workers: dict[str, subprocess.Popen] = {}
+        # Jobs observed in a terminal state: never re-read (see step()).
+        self._terminal: set[str] = set()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def recover(self) -> list[Job]:
+        """Re-enqueue crash-marked jobs (call once, before scheduling)."""
+        return self.store.recover()
+
+    def step(self) -> bool:
+        """One reap-and-launch pass; True while any work remains.
+
+        The queue is scanned once per tick, and jobs already observed in
+        a terminal state are skipped without re-reading their records (a
+        long-lived root accumulates completed jobs; re-parsing immutable
+        history every poll would make the idle loop O(all jobs ever)).
+        """
+        self._reap()
+        active = self.store.jobs_except(self._terminal)
+        self._terminal.update(
+            job.job_id
+            for job in active
+            if job.state in (JobState.COMPLETED, JobState.FAILED)
+        )
+        queued = [job for job in active if job.state == JobState.QUEUED]
+        for job in queued:
+            if len(self._workers) >= self.max_workers:
+                break
+            claimed = self.store.claim(job)
+            self._workers[claimed.job_id] = self._spawn(claimed)
+        return bool(self._workers) or bool(queued)
+
+    def drain(self, timeout: float | None = None) -> list[Job]:
+        """Run until the queue is empty and every worker has exited.
+
+        Returns the final job records.  Raises ``TimeoutError`` if a
+        ``timeout`` (seconds) elapses first — workers are then terminated
+        so their jobs recover on the next start.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.step():
+            if deadline is not None and time.monotonic() > deadline:
+                self.shutdown()
+                raise TimeoutError(
+                    f"drain exceeded {timeout} s with jobs still pending"
+                )
+            time.sleep(self.poll_interval)
+        return self.store.jobs()
+
+    def run_forever(self) -> None:
+        """Serve until interrupted (the ``repro serve`` foreground loop)."""
+        try:
+            while True:
+                self.step()
+                time.sleep(self.poll_interval)
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Terminate outstanding workers; their jobs recover on restart."""
+        for proc in self._workers.values():
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._workers.values():
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                proc.kill()
+        self._workers.clear()
+
+    @property
+    def active_jobs(self) -> list[str]:
+        return sorted(self._workers)
+
+    # ------------------------------------------------------------ internals
+
+    def _reap(self) -> None:
+        for job_id, proc in list(self._workers.items()):
+            code = proc.poll()
+            if code is None:
+                continue
+            del self._workers[job_id]
+            job = self.store.get(job_id)
+            if job.state not in (JobState.COMPLETED, JobState.FAILED):
+                # The worker died without recording an outcome (signal,
+                # interpreter abort).  Its checkpoints are intact, so give
+                # the job another attempt unless it keeps crashing.
+                if job.attempts >= self.max_attempts:
+                    error = (
+                        f"worker exited with code {code} "
+                        f"({job.attempts} attempts)"
+                    )
+                    self.store.update(
+                        job_id,
+                        state=JobState.FAILED,
+                        finished_at=time.time(),
+                        error=error,
+                    )
+                    # Terminal marker on the bus too: worker-side failures
+                    # publish job_failed themselves, but this worker died
+                    # without one — a tailing consumer must still see the
+                    # stream end.
+                    EventBus(self.store, job_id).publish_record({
+                        "type": "job_failed",
+                        "job": job_id,
+                        "ts": round(time.time(), 3),
+                        "error": error,
+                    })
+                else:
+                    self.store.update(job_id, state=JobState.QUEUED)
+
+    def _spawn(self, job: Job) -> subprocess.Popen:
+        # Workers must import `repro` regardless of how the server itself
+        # was launched, so the package root rides on PYTHONPATH.
+        package_root = str(pathlib.Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.service.worker",
+                str(self.store.root),
+                job.job_id,
+            ],
+            env=env,
+        )

@@ -1,0 +1,122 @@
+"""Worker: execute one claimed job in its own process.
+
+The scheduler spawns ``python -m repro.service.worker <root> <job_id>``
+per job, so concurrent jobs parallelize across cores (each process makes
+its own backend/bigint selection from the spec's params, exactly like an
+inline run) and a crashing experiment can never take the server down.
+
+The worker drives :meth:`repro.api.Experiment.run_iter` with the job's
+checkpoint directory, publishes every event to the NDJSON bus, writes the
+``chiaroscuro-run/v1`` record to ``result.json``, and flips the job to
+``completed``/``failed``.  A kill at any point leaves the job ``running``
+with its checkpoints intact — the crash marker
+:meth:`~repro.service.store.JobStore.recover` turns back into ``queued``,
+and the next worker resumes after the last completed iteration
+(bit-identical on checkpointable planes; non-checkpointable planes rerun
+from scratch, which is deterministic for a seeded spec anyway).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import traceback
+
+from ..api import (
+    PLANES,
+    Experiment,
+    RunCompleted,
+    RunSpec,
+    RunStarted,
+    atomic_write_text,
+    run_record,
+)
+from .bus import EventBus
+from .store import Job, JobState, JobStore
+
+__all__ = ["execute_job", "main"]
+
+
+def execute_job(store: JobStore, job: Job) -> int:
+    """Run one job to completion (or failure); returns an exit code."""
+    bus = EventBus(store, job.job_id)
+    result = None
+    environment = None
+    started = time.perf_counter()
+    try:
+        # Inside the try: a spec that validated at submit time can still
+        # fail here (e.g. a registry divergence) and must fail the *job*,
+        # not just the worker process.
+        spec = RunSpec.from_dict(job.spec)
+        checkpoint_dir = (
+            str(store.checkpoint_dir(job.job_id))
+            if PLANES.get(spec.plane).supports_checkpoint
+            else None
+        )
+        experiment = Experiment.from_spec(spec)
+        for event in experiment.run_iter(
+            checkpoint_dir=checkpoint_dir, resume=True
+        ):
+            bus.publish(event)
+            if isinstance(event, RunStarted):
+                environment = {
+                    "crypto_backend": event.crypto_backend,
+                    "bigint_backend": event.bigint_backend,
+                    "key_bits": event.key_bits,
+                }
+            elif isinstance(event, RunCompleted):
+                result = event.result
+    except Exception as exc:  # noqa: BLE001 - the job fails, not the server
+        error = f"{type(exc).__name__}: {exc}"
+        store.update(
+            job.job_id,
+            state=JobState.FAILED,
+            finished_at=time.time(),
+            error=error,
+        )
+        bus.publish_record(
+            {
+                "type": "job_failed",
+                "job": job.job_id,
+                "ts": round(time.time(), 3),
+                "error": error,
+            }
+        )
+        traceback.print_exc(file=sys.stderr)
+        return 1
+
+    elapsed = time.perf_counter() - started
+    record = run_record(
+        spec,
+        result,
+        timings={"wall_seconds": elapsed},
+        environment=environment,
+    )
+    atomic_write_text(
+        store.result_path(job.job_id), json.dumps(record, indent=2) + "\n"
+    )
+    store.update(job.job_id, state=JobState.COMPLETED, finished_at=time.time())
+    bus.publish_record(
+        {
+            "type": "job_completed",
+            "job": job.job_id,
+            "ts": round(time.time(), 3),
+            "wall_seconds": round(elapsed, 3),
+        }
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if len(argv) != 2:
+        print("usage: python -m repro.service.worker <root> <job_id>",
+              file=sys.stderr)
+        return 2
+    store = JobStore(argv[0])
+    return execute_job(store, store.get(argv[1]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,11 @@ subsystem), on both checkpointable planes."""
 
 from __future__ import annotations
 
+import concurrent.futures
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -41,6 +46,18 @@ def run_interrupted(spec, directory, kill_after: int):
             saved += 1
             if saved >= kill_after:
                 return  # the "kill": generator is simply dropped
+
+
+def _save_many(args):
+    """Worker for the concurrent-save test (module-level: picklable)."""
+    directory, worker = args
+    store = CheckpointStore(directory)
+    for iteration in range(1, 9):
+        store.save(Checkpoint(
+            spec={"worker": worker}, plane="quality", iteration=iteration,
+            centroids=[[float(worker)]], epsilon_spent=0.0, rng_state={},
+        ))
+    return worker
 
 
 def assert_bit_identical(a, b):
@@ -164,6 +181,81 @@ class TestCheckpointHygiene:
             list(Experiment.from_spec(spec).run_iter(
                 checkpoint_dir=str(tmp_path / "obj")
             ))
+
+    def test_save_leaves_no_tmp_behind(self, tmp_path):
+        spec = spec_for("quality")
+        directory = tmp_path / "tidy"
+        run_interrupted(spec, str(directory), 2)
+        assert not list(directory.glob("*.tmp"))
+
+    def test_init_sweeps_stale_tmps(self, tmp_path):
+        """A kill mid-write leaves a tmp; the next store construction in a
+        fresh process must sweep it (the writer pid is dead)."""
+        directory = tmp_path / "stale"
+        directory.mkdir()
+        # A dead writer: a subprocess that exits before we look at its pid.
+        proc = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True, text=True, check=True,
+        )
+        dead_pid = int(proc.stdout)
+        stale = directory / f"checkpoint_000003.json.{dead_pid}.tmp"
+        stale.write_text("{torn")
+        legacy = directory / "checkpoint_000004.json.tmp"  # pre-fix naming
+        legacy.write_text("{torn")
+        CheckpointStore(directory)
+        assert not stale.exists() and not legacy.exists()
+
+    def test_init_keeps_live_writers_tmp(self, tmp_path):
+        """A tmp owned by a live process (another run sharing the
+        directory, mid-write) must survive the only-stale sweep."""
+        directory = tmp_path / "live"
+        directory.mkdir()
+        live = directory / f"checkpoint_000001.json.{os.getpid()}.tmp"
+        live.write_text("mid-write")
+        CheckpointStore(directory)
+        assert live.exists()
+        CheckpointStore(directory).clear()  # clear sweeps unconditionally
+        assert not live.exists()
+
+    def test_tmp_name_is_per_process_unique(self, tmp_path):
+        """Two processes sharing a directory must not race on one tmp
+        path: the name embeds the writer's pid."""
+        store = CheckpointStore(tmp_path / "pid")
+        checkpoint = Checkpoint(
+            spec={}, plane="quality", iteration=1, centroids=[[0.0]],
+            epsilon_spent=0.0, rng_state={},
+        )
+        seen = []
+        original_replace = os.replace
+
+        def spy(src, dst):
+            seen.append(str(src))
+            return original_replace(src, dst)
+
+        os.replace = spy
+        try:
+            store.save(checkpoint)
+        finally:
+            os.replace = original_replace
+        assert seen and f".{os.getpid()}.tmp" in seen[0]
+
+    def test_concurrent_saves_from_processes(self, tmp_path):
+        """Many processes hammering one directory: every final checkpoint
+        file parses (no torn writes, no cross-process tmp clobbering)."""
+        directory = str(tmp_path / "concurrent")
+        with concurrent.futures.ProcessPoolExecutor(max_workers=4) as pool:
+            list(pool.map(
+                _save_many, [(directory, worker) for worker in range(4)]
+            ))
+        store = CheckpointStore(directory)
+        assert store.iterations() == list(range(1, 9))
+        for iteration in store.iterations():
+            loaded = Checkpoint.from_json(
+                store.path_for(iteration).read_text()
+            )
+            assert loaded.iteration == iteration
+        assert not list(store.directory.glob("*.tmp"))
 
     def test_rng_state_survives_json_exactly(self, tmp_path):
         """PCG64 state ints are 128-bit; JSON must carry them exactly."""

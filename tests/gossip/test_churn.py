@@ -24,6 +24,19 @@ class TestChurnModel:
         mask = model.iteration_mask(50, np.random.default_rng(2))
         assert mask.all()
 
+    def test_zero_churn_consumes_no_rng(self):
+        """Determinism parity: a zero-churn model must leave the RNG
+        stream exactly where a run without a churn model would — both
+        mask surfaces take the draw-free fast path."""
+        model = ChurnModel(per_exchange=0.0, per_iteration=0.0)
+        rng = np.random.default_rng(7)
+        untouched = np.random.default_rng(7)
+        model.iteration_mask(1000, rng)
+        model.exchange_mask(1000, rng)
+        assert rng.bit_generator.state == untouched.bit_generator.state
+        # and the next draws are stream-identical to the no-model run
+        assert np.array_equal(rng.random(8), untouched.random(8))
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ChurnModel(per_exchange=1.0)

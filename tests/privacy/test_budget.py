@@ -95,6 +95,17 @@ class TestFactory:
         with pytest.raises(ValueError):
             strategy_from_name("XYZ", EPS)
 
+    @pytest.mark.parametrize("label", ["UFx", "UF3x", "UF-3", "UF 5", "UF²"])
+    def test_malformed_uf_suffix_is_unknown_strategy(self, label):
+        """A bad UF suffix must be the intended 'unknown budget strategy'
+        error, not a raw int() ValueError."""
+        with pytest.raises(ValueError, match="unknown budget strategy"):
+            strategy_from_name(label, EPS)
+
+    def test_bare_uf_uses_default_iterations(self):
+        uf = strategy_from_name("UF", EPS, uf_iterations=7)
+        assert isinstance(uf, UniformFast) and uf.n_iterations == 7
+
     def test_invalid_epsilon(self):
         with pytest.raises(ValueError):
             Greedy(0.0)

@@ -1,0 +1,25 @@
+"""Shared builders for the service test suite (imported via pytest's
+test-dir sys.path insertion, like the benchmark suite's conftest)."""
+
+from __future__ import annotations
+
+from repro.api import RunSpec
+
+
+def small_spec(seed: int = 0, name: str = "", plane: str = "quality",
+               max_iterations: int = 2, n_series: int = 100) -> RunSpec:
+    """A sub-second quality/vectorized spec for service tests."""
+    params = {"k": 3, "max_iterations": max_iterations, "epsilon": 50.0,
+              "theta": 0.0}
+    if plane == "vectorized":
+        params["exchanges"] = 10
+    return RunSpec.from_dict({
+        "name": name or f"svc-test-{plane}-{seed}",
+        "plane": plane,
+        "seed": seed,
+        "strategy": "G",
+        "dataset": {"kind": "cer",
+                    "params": {"n_series": n_series, "population_scale": 100}},
+        "init": {"kind": "courbogen"},
+        "params": params,
+    })

@@ -1,0 +1,98 @@
+"""NDJSON event bus: wire-format serialization, torn-tail tolerance."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import (
+    CheckpointSaved,
+    Experiment,
+    RunCompleted,
+    RunStarted,
+    event_to_dict,
+)
+from _helpers import small_spec
+from repro.service import EventBus, JobStore, append_ndjson, read_events
+
+
+class TestEventToDict:
+    def test_full_stream_serializes(self):
+        spec = small_spec(3)
+        kinds = []
+        for event in Experiment.from_spec(spec).run_iter():
+            record = event_to_dict(event)
+            kinds.append(record["type"])
+            json.dumps(record)  # every record must be JSON-clean
+        assert kinds[0] == "run_started"
+        assert kinds[-1] == "run_completed"
+        assert "iteration_completed" in kinds
+
+    def test_checkpoint_saved_path_is_string(self, tmp_path):
+        record = event_to_dict(
+            CheckpointSaved(iteration=2, path=pathlib.Path(tmp_path) / "x")
+        )
+        assert record["type"] == "checkpoint_saved"
+        assert isinstance(record["path"], str)
+
+    def test_run_completed_summarizes_without_payload(self):
+        spec = small_spec(3)
+        events = list(Experiment.from_spec(spec).run_iter())
+        completed = [e for e in events if isinstance(e, RunCompleted)][0]
+        record = event_to_dict(completed)
+        assert record["iterations"] == completed.result.iterations
+        assert "history" not in record and "centroids" not in record
+
+    def test_run_started_carries_environment(self):
+        spec = small_spec(3)
+        started = next(iter(Experiment.from_spec(spec).run_iter()))
+        assert isinstance(started, RunStarted)
+        record = event_to_dict(started)
+        assert record["bigint_backend"] in ("python", "gmpy2")
+        assert record["key_bits"] == 0  # quality plane runs no real crypto
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError, match="not a run event"):
+            event_to_dict({"type": "imposter"})
+
+
+class TestNdjson:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "log.ndjson"
+        for i in range(5):
+            append_ndjson(path, {"i": i})
+        assert [r["i"] for r in read_events(path)] == list(range(5))
+
+    def test_read_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "log.ndjson"
+        append_ndjson(path, {"ok": 1})
+        with open(path, "a") as fh:
+            fh.write('{"torn": tr')  # kill mid-append
+        assert read_events(path) == [{"ok": 1}]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_events(tmp_path / "absent.ndjson") == []
+
+
+class TestEventBus:
+    def test_publish_multiplexes_job_log_and_feed(self, tmp_path):
+        store = JobStore(tmp_path)
+        job_a = store.submit(small_spec(1))
+        job_b = store.submit(small_spec(2))
+        for job in (job_a, job_b):
+            bus = EventBus(store, job.job_id)
+            for event in Experiment.from_spec(
+                small_spec(job.spec["seed"])
+            ).run_iter():
+                record = bus.publish(event)
+                assert record["job"] == job.job_id
+                assert "ts" in record
+        own = read_events(store.events_path(job_a.job_id))
+        assert {r["job"] for r in own} == {job_a.job_id}
+        feed = read_events(store.feed_path)
+        assert {r["job"] for r in feed} == {job_a.job_id, job_b.job_id}
+        assert len(feed) == len(own) + len(
+            read_events(store.events_path(job_b.job_id))
+        )

@@ -182,3 +182,164 @@ class TestSpecDrivenRuns:
         assert code == 2
         assert "error:" in out.getvalue()
         assert "different spec" in out.getvalue()
+
+
+class TestServiceCommands:
+    """The service surface: submit → serve --drain → jobs → tail."""
+
+    def _batch_file(self, tmp_path, n=3):
+        from repro.api import RunSpec
+
+        specs = []
+        for seed in range(n):
+            specs.append(RunSpec.from_dict({
+                "name": f"cli-batch-{seed}",
+                "plane": "quality",
+                "seed": seed,
+                "strategy": "G",
+                "dataset": {"kind": "cer",
+                            "params": {"n_series": 100,
+                                       "population_scale": 100}},
+                "init": {"kind": "courbogen"},
+                "params": {"k": 3, "max_iterations": 2, "epsilon": 50.0,
+                           "theta": 0.0},
+            }).to_dict())
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(specs))
+        return path
+
+    def test_submit_serve_jobs_tail_round_trip(self, tmp_path):
+        root = str(tmp_path / "root")
+        batch = self._batch_file(tmp_path)
+
+        out = io.StringIO()
+        assert main(["submit", str(batch), "--root", root], out=out) == 0
+        assert "3 job(s) submitted" in out.getvalue()
+
+        out = io.StringIO()
+        code = main(["serve", "--root", root, "--max-workers", "2",
+                     "--poll", "0.05", "--drain", "--timeout", "300"], out=out)
+        assert code == 0
+        assert "drained: 3 completed, 0 failed" in out.getvalue()
+
+        out = io.StringIO()
+        assert main(["jobs", "--root", root], out=out) == 0
+        listing = out.getvalue()
+        assert listing.count("completed") == 3
+
+        out = io.StringIO()
+        assert main(["jobs", "--root", root, "--json"], out=out) == 0
+        payload = json.loads(out.getvalue())
+        assert [job["state"] for job in payload] == ["completed"] * 3
+        job_id = payload[0]["job_id"]
+
+        out = io.StringIO()
+        assert main(["tail", "--root", root], out=out) == 0
+        feed = out.getvalue()
+        assert "run_started" in feed and "job_completed" in feed
+
+        out = io.StringIO()
+        assert main(["tail", "--root", root, job_id, "--raw"], out=out) == 0
+        records = [json.loads(line) for line in
+                   out.getvalue().strip().splitlines()]
+        assert {r["job"] for r in records} == {job_id}
+        assert records[-1]["type"] == "job_completed"
+
+    def test_submit_rejects_malformed_spec(self, tmp_path):
+        root = str(tmp_path / "root")
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"plane": "quality"}))  # no dataset block
+        out = io.StringIO()
+        assert main(["submit", str(bad), "--root", root], out=out) == 2
+        assert "error:" in out.getvalue()
+
+    def test_submit_multiple_files_is_all_or_nothing(self, tmp_path):
+        """A malformed second file must not leave the first file's jobs
+        durably enqueued (a retry would double-submit them)."""
+        from repro.service import JobStore
+
+        root = str(tmp_path / "root")
+        good = self._batch_file(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"plane": "quality"}))
+        out = io.StringIO()
+        assert main(["submit", str(good), str(bad), "--root", root],
+                    out=out) == 2
+        assert JobStore(root).jobs() == []
+
+    def test_serve_drain_ignores_historically_failed_jobs(self, tmp_path):
+        """A job that failed terminally in a previous session must not
+        make every later drain exit 1."""
+        from repro.service import JobState, JobStore
+
+        root = str(tmp_path / "root")
+        store = JobStore(root)
+        batch = self._batch_file(tmp_path, n=1)
+        assert main(["submit", str(batch), "--root", root],
+                    out=io.StringIO()) == 0
+        old = store.jobs()[0]
+        store.update(old.job_id, state=JobState.FAILED, error="old wreck")
+
+        assert main(["submit", str(batch), "--root", root],
+                    out=io.StringIO()) == 0
+        out = io.StringIO()
+        code = main(["serve", "--root", root, "--max-workers", "1",
+                     "--poll", "0.05", "--drain", "--timeout", "300"],
+                    out=out)
+        assert code == 0
+        assert "drained: 1 completed, 0 failed" in out.getvalue()
+        assert store.get(old.job_id).state == JobState.FAILED  # untouched
+
+    def test_submit_rejects_malformed_budget_label(self, tmp_path):
+        """The satellite bugfix, through the CLI path: a bad UF label is a
+        clean usage error, not an int() traceback."""
+        root = str(tmp_path / "root")
+        bad = tmp_path / "bad.json"
+        spec = json.loads(self._batch_file(tmp_path).read_text())[0]
+        spec["strategy"] = "UFx"
+        spec["params"]["budget_strategy"] = "UFx"
+        bad.write_text(json.dumps([spec]))
+        out = io.StringIO()
+        assert main(["submit", str(bad), "--root", root], out=out) == 2
+        assert "unknown budget strategy" in out.getvalue()
+
+    def test_tail_unknown_job_is_clean_error(self, tmp_path):
+        root = str(tmp_path / "root")
+        out = io.StringIO()
+        assert main(["tail", "--root", root, "nope"], out=out) == 2
+        assert "unknown job" in out.getvalue()
+
+    def test_tail_renders_foreign_records_without_crashing(self, tmp_path):
+        """A feed line of a known type but missing numeric fields (e.g.
+        written by another version) must not abort the tail."""
+        root = str(tmp_path / "root")
+        from repro.service import JobStore, append_ndjson
+
+        store = JobStore(root)
+        append_ndjson(store.feed_path,
+                      {"type": "iteration_completed", "job": "j1"})
+        append_ndjson(store.feed_path,
+                      {"type": "job_completed", "job": "j1",
+                       "wall_seconds": 1.0})
+        out = io.StringIO()
+        assert main(["tail", "--root", root], out=out) == 0
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert "iteration_completed" in lines[0]
+
+    def test_serve_timeout_requires_drain(self, tmp_path):
+        out = io.StringIO()
+        code = main(["serve", "--root", str(tmp_path / "root"),
+                     "--timeout", "5"], out=out)
+        assert code == 2
+        assert "--drain" in out.getvalue()
+
+    def test_cluster_rejects_malformed_budget_label(self):
+        out = io.StringIO()
+        code = main(
+            ["cluster", "--dataset", "cer", "--series", "100",
+             "--strategy", "UFx", "--iterations", "2"],
+            out=out,
+        )
+        assert code == 2
+        assert "error:" in out.getvalue()
