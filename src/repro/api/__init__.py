@@ -34,7 +34,9 @@ Components:
 from .checkpoint import Checkpoint, CheckpointStore, atomic_write_text
 from .events import (
     CheckpointSaved,
+    FaultDetected,
     IterationCompleted,
+    RunAborted,
     RunCompleted,
     RunEvent,
     RunStarted,
@@ -61,7 +63,7 @@ from .registry import (
     register_strategy,
     resolve_strategy,
 )
-from .spec import DatasetSpec, InitSpec, RunSpec
+from .spec import DatasetSpec, FaultSpec, InitSpec, RunSpec
 
 from . import builtins as _builtins  # noqa: F401  (registers the built-in keys)
 
@@ -73,6 +75,8 @@ __all__ = [
     "DatasetSpec",
     "ExecutionPlane",
     "Experiment",
+    "FaultDetected",
+    "FaultSpec",
     "INITIALIZERS",
     "InitSpec",
     "IterationCompleted",
@@ -80,6 +84,7 @@ __all__ = [
     "PlaneStep",
     "RESULT_SCHEMA",
     "Registry",
+    "RunAborted",
     "RunCompleted",
     "RunContext",
     "RunEvent",

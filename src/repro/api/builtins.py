@@ -203,6 +203,7 @@ class _ProtocolPlane(ExecutionPlane):
             key_bits=ctx.params.key_bits,
             seed=ctx.spec.seed,
             keypair=ctx.keypair,
+            fault_plan=ctx.fault_plan,
         )
         ctx.runtime = run  # exposed for diagnostics (e.g. wire-format demos)
         return run

@@ -6,6 +6,11 @@ server-sent events) consumes the same sequence —
 
     RunStarted, (IterationCompleted [CheckpointSaved])*, RunCompleted
 
+Runs executing under a fault plane (``RunSpec.faults``) may interleave
+:class:`FaultDetected` events (the Sec. 4.4 countermeasures flagged an
+injected adversary) and may end with a :class:`RunAborted` immediately
+before the final ``RunCompleted`` (whose reason is then ``"aborted"``).
+
 A consumer may stop iterating at any point (early stopping); generators
 clean up behind it, and any checkpoints already written remain resumable.
 """
@@ -22,7 +27,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "CheckpointSaved",
+    "FaultDetected",
     "IterationCompleted",
+    "RunAborted",
     "RunCompleted",
     "RunEvent",
     "RunStarted",
@@ -76,14 +83,62 @@ class CheckpointSaved:
 
 
 @dataclass(frozen=True)
+class FaultDetected:
+    """A Sec. 4.4 countermeasure flagged an injected fault during a run.
+
+    ``detector`` names the machinery that fired (``device-registry``,
+    ``exchange-guard``, ``decryption-cross-check``, ``coalition-audit``,
+    ``availability-monitor``); ``participants`` are the offending device
+    ids (capped to a readable prefix for large coalitions) and ``detail``
+    is a small JSON-ready dict of detector-specific evidence.
+    """
+
+    iteration: int
+    fault: str  # fault registry key, e.g. "byzantine"
+    detector: str
+    participants: tuple = ()
+    detail: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "participants", tuple(self.participants))
+        object.__setattr__(
+            self, "detail", dict(self.detail) if self.detail else {}
+        )
+
+
+@dataclass(frozen=True)
+class RunAborted:
+    """A detected fault the protocol cannot safely continue past.
+
+    Emitted at most once, immediately before the final ``RunCompleted``
+    (whose reason is then ``"aborted"``).  ``epsilon_charged`` is the total
+    privacy budget consumed *including* the aborted iteration's slice — the
+    accountant charges before the iteration runs, so an abort never
+    under-reports spend.
+    """
+
+    iteration: int
+    fault: str
+    reason: str
+    epsilon_charged: float
+
+
+@dataclass(frozen=True)
 class RunCompleted:
     """Emitted once; carries the final result (and reason the loop ended)."""
 
     result: "ClusteringResult"
-    reason: str  # "converged" | "budget" | "iterations" | "clusters-lost"
+    reason: str  # "converged" | "budget" | "iterations" | "clusters-lost" | "aborted"
 
 
-RunEvent = Union[RunStarted, IterationCompleted, CheckpointSaved, RunCompleted]
+RunEvent = Union[
+    RunStarted,
+    IterationCompleted,
+    CheckpointSaved,
+    FaultDetected,
+    RunAborted,
+    RunCompleted,
+]
 
 
 def event_to_dict(event: RunEvent) -> dict:
@@ -129,6 +184,23 @@ def event_to_dict(event: RunEvent) -> dict:
             "type": "checkpoint_saved",
             "iteration": event.iteration,
             "path": str(event.path),
+        }
+    if isinstance(event, FaultDetected):
+        return {
+            "type": "fault_detected",
+            "iteration": event.iteration,
+            "fault": event.fault,
+            "detector": event.detector,
+            "participants": list(event.participants),
+            "detail": dict(event.detail),
+        }
+    if isinstance(event, RunAborted):
+        return {
+            "type": "run_aborted",
+            "iteration": event.iteration,
+            "fault": event.fault,
+            "reason": event.reason,
+            "epsilon_charged": event.epsilon_charged,
         }
     if isinstance(event, RunCompleted):
         return {

@@ -45,6 +45,7 @@ from .checkpoint import Checkpoint, CheckpointStore
 from .events import (
     CheckpointSaved,
     IterationCompleted,
+    RunAborted,
     RunCompleted,
     RunEvent,
     RunStarted,
@@ -105,6 +106,7 @@ class RunContext:
     params: ChiaroscuroParams
     keypair: Any = None  # optional pre-built ThresholdKeypair (object plane)
     runtime: Any = None  # plane-owned engine object, exposed for diagnostics
+    fault_plan: Any = None  # FaultPlan when the spec declares faults
 
 
 @dataclass
@@ -263,10 +265,29 @@ class Experiment:
         is true and the directory already holds a checkpoint *of the same
         spec*, the run continues after its last completed iteration.
         Consumers may stop iterating at any time (early stopping).
+
+        A spec declaring ``faults`` runs under a
+        :class:`~repro.faults.FaultPlan`: :class:`FaultDetected` events
+        interleave with the stream, and a fault the protocol cannot
+        continue past yields a :class:`RunAborted` followed by a final
+        ``RunCompleted(reason="aborted")`` — a clean end, never an
+        exception.  Faulted runs skip checkpoint writes (injector state is
+        not serialized; a seeded faulted run re-executes deterministically
+        from scratch, which crash recovery relies on instead).
         """
         spec = self.spec
         ctx = self.context
         plane: ExecutionPlane = PLANES.get(spec.plane)
+
+        # Deferred import — repro.faults imports repro.api for the registry
+        # and event types, so a module-level binding would deadlock
+        # package initialization.
+        from ..faults import FaultAbort, FaultPlan
+
+        fault_plan = FaultPlan.from_spec(spec)
+        ctx.fault_plan = fault_plan
+        if fault_plan is not None:
+            checkpoint_dir = None  # documented: faulted runs re-run, not resume
 
         store: CheckpointStore | None = None
         checkpoint: Checkpoint | None = None
@@ -325,37 +346,65 @@ class Experiment:
             if converged
             else plane.run_iter(ctx, resume=checkpoint, cycle_hook=cycle_hook)
         )
-        for step in steps:
-            result.history.append(step.stats)
-            spent += step.stats.epsilon_spent
-            final_centroids = step.centroids
-            converged = step.converged
-            yield IterationCompleted(
-                stats=step.stats,
-                epsilon_spent_total=spent,
-                epsilon_remaining=max(0.0, epsilon_total - spent),
-                active_series=step.active_series,
-                agreement=step.agreement,
-                exchanges_per_node=step.exchanges_per_node,
-            )
-            if store is not None and step.rng_state is not None:
-                path = store.save(
-                    Checkpoint(
-                        spec=spec.to_dict(),
-                        plane=spec.plane,
-                        iteration=step.stats.iteration,
-                        centroids=np.asarray(step.centroids).tolist(),
-                        epsilon_spent=spent,
-                        rng_state=step.rng_state,
-                        history=[s.to_dict() for s in result.history],
-                        converged=step.converged,
-                    )
+        aborted: Any = None
+        try:
+            for step in steps:
+                result.history.append(step.stats)
+                spent += step.stats.epsilon_spent
+                final_centroids = step.centroids
+                converged = step.converged
+                if fault_plan is not None:
+                    # Detections raised during the iteration precede its
+                    # completion event.
+                    yield from fault_plan.drain_events()
+                yield IterationCompleted(
+                    stats=step.stats,
+                    epsilon_spent_total=spent,
+                    epsilon_remaining=max(0.0, epsilon_total - spent),
+                    active_series=step.active_series,
+                    agreement=step.agreement,
+                    exchanges_per_node=step.exchanges_per_node,
                 )
-                yield CheckpointSaved(iteration=step.stats.iteration, path=path)
+                if store is not None and step.rng_state is not None:
+                    path = store.save(
+                        Checkpoint(
+                            spec=spec.to_dict(),
+                            plane=spec.plane,
+                            iteration=step.stats.iteration,
+                            centroids=np.asarray(step.centroids).tolist(),
+                            epsilon_spent=spent,
+                            rng_state=step.rng_state,
+                            history=[s.to_dict() for s in result.history],
+                            converged=step.converged,
+                        )
+                    )
+                    yield CheckpointSaved(
+                        iteration=step.stats.iteration, path=path
+                    )
+        except FaultAbort as abort:
+            aborted = abort
+            if fault_plan is not None:
+                yield from fault_plan.drain_events()
+            yield RunAborted(
+                iteration=abort.iteration,
+                fault=abort.fault,
+                reason=abort.reason,
+                # The accountant charges ε *before* an iteration runs, so
+                # the aborted iteration's slice is already spent — report
+                # it, never under-report.
+                epsilon_charged=spent + self._iteration_charge(abort.iteration),
+            )
 
+        if fault_plan is not None:
+            # An iteration that ends the run without completing (lost
+            # clusters, exhausted budget) may still have raised detections.
+            yield from fault_plan.drain_events()
         result.centroids = np.asarray(final_centroids, dtype=float)
         result.converged = converged
-        yield RunCompleted(result=result, reason=self._reason(result))
+        yield RunCompleted(
+            result=result,
+            reason="aborted" if aborted is not None else self._reason(result),
+        )
 
     def run(
         self,
@@ -372,6 +421,15 @@ class Experiment:
                 result = event.result
         assert result is not None  # run_iter always ends with RunCompleted
         return result
+
+    def _iteration_charge(self, iteration: int) -> float:
+        """The ε slice the strategy charged for ``iteration`` (0 if none)."""
+        from ..privacy.budget import BudgetExhausted
+
+        try:
+            return float(self.context.strategy.epsilon_for(iteration))
+        except BudgetExhausted:
+            return 0.0
 
     def _reason(self, result: ClusteringResult) -> str:
         if result.converged:

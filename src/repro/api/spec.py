@@ -25,7 +25,7 @@ import numpy as np
 from ..core.config import ChiaroscuroParams
 from .registry import DATASETS, INITIALIZERS, PLANES, resolve_strategy
 
-__all__ = ["DatasetSpec", "InitSpec", "RunSpec"]
+__all__ = ["DatasetSpec", "FaultSpec", "InitSpec", "RunSpec"]
 
 #: Planes that execute through ``ChiaroscuroRun`` and therefore must agree
 #: with ``ChiaroscuroParams.protocol_plane``.
@@ -99,6 +99,29 @@ class InitSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """One declared fault: a fault-registry kind plus its config params.
+
+    ``params`` are the constructor kwargs of the registered fault-config
+    dataclass (e.g. ``{"loss": 0.2}`` for ``kind="network"``); they are
+    validated at spec construction by instantiating the config.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _jsonify(self.params))
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "FaultSpec":
+        return cls(kind=d["kind"], params=dict(d.get("params", {})))
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """One experiment, fully specified and serializable.
 
@@ -109,6 +132,13 @@ class RunSpec:
     registered plane declares in its ``option_keys`` are rejected here
     (typo protection); a plane simply ignores *other* planes' keys, so
     one spec can still pivot across planes.
+
+    ``faults`` declares the hostile-deployment scenario: a tuple of
+    :class:`FaultSpec` entries (registry kind + params) injected through
+    :class:`~repro.faults.FaultPlan` when the run executes.  Only the
+    protocol planes run a live adversary, so faults are rejected on the
+    quality plane; an empty block is bit-identical to no block at all
+    (and serializes to nothing — old checkpoints keep resuming).
     """
 
     dataset: DatasetSpec
@@ -120,9 +150,32 @@ class RunSpec:
     churn: float = 0.0
     options: dict = field(default_factory=dict)
     name: str = ""
+    faults: tuple = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "options", _jsonify(self.options))
+        faults = tuple(
+            f if isinstance(f, FaultSpec) else FaultSpec.from_dict(f)
+            for f in self.faults
+        )
+        object.__setattr__(self, "faults", faults)
+        if faults:
+            if self.plane not in PROTOCOL_PLANES:
+                raise ValueError(
+                    "faults require a protocol plane "
+                    f"({' or '.join(map(repr, PROTOCOL_PLANES))}); the "
+                    f"{self.plane!r} plane runs no live adversary"
+                )
+            # Deferred import: repro.faults itself imports repro.api (for
+            # the registry and event types), so binding it at module level
+            # would deadlock package initialization.
+            from ..faults import build_fault
+
+            for fault in faults:
+                try:
+                    build_fault(fault.kind, fault.params)
+                except KeyError as exc:
+                    raise ValueError(str(exc)) from None
         if not self.strategy:
             object.__setattr__(self, "strategy", self.params.budget_strategy)
         if not 0 <= self.churn < 1:
@@ -165,7 +218,7 @@ class RunSpec:
     # ------------------------------------------------------------------ io
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "name": self.name,
             "plane": self.plane,
             "seed": self.seed,
@@ -176,6 +229,12 @@ class RunSpec:
             "params": asdict(self.params),
             "options": dict(self.options),
         }
+        if self.faults:
+            # Emitted only when non-empty, so fault-free specs serialize
+            # exactly as before the fault plane existed (checkpoint spec-
+            # identity compatibility).
+            d["faults"] = [fault.to_dict() for fault in self.faults]
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "RunSpec":
@@ -197,6 +256,9 @@ class RunSpec:
             churn=float(d.get("churn", 0.0)),
             options=dict(d.get("options", {})),
             name=d.get("name", ""),
+            faults=tuple(
+                FaultSpec.from_dict(f) for f in d.get("faults", ())
+            ),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

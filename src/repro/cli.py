@@ -185,7 +185,9 @@ def _run_cluster(args, spec, out) -> int:
     from .api import (
         CheckpointSaved,
         Experiment,
+        FaultDetected,
         IterationCompleted,
+        RunAborted,
         RunCompleted,
         RunStarted,
         run_record,
@@ -226,6 +228,13 @@ def _run_cluster(args, spec, out) -> int:
                   f"{stats.epsilon_spent:>9.4f} {exchanges}", file=out)
         elif isinstance(event, CheckpointSaved):
             pass  # noted in the summary; per-iteration chatter stays low
+        elif isinstance(event, FaultDetected):
+            print(f"fault detected: {event.fault} via {event.detector} "
+                  f"(iteration {event.iteration}, "
+                  f"{len(event.participants)} participant(s) flagged)", file=out)
+        elif isinstance(event, RunAborted):
+            print(f"run aborted at iteration {event.iteration}: {event.reason} "
+                  f"(epsilon charged: {event.epsilon_charged:.4f})", file=out)
         elif isinstance(event, RunCompleted):
             result = event.result
     elapsed = time.perf_counter() - started

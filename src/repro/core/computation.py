@@ -188,6 +188,12 @@ class ComputationStep:
         output = ComputationOutput(self.noise_plan.k, self.noise_plan.series_length)
         stride = self.noise_plan.series_length + 1
         for node in engine.nodes:
+            if not decryption.is_done(node):
+                # A node that never collected τ key-shares (isolated by
+                # churn or a partition for the whole window) holds no
+                # decrypted result — it reports nothing, exactly like the
+                # vectorized step's holders mask.
+                continue
             plaintexts, omega = decryption.plaintexts_of(node)
             if omega <= 0:
                 continue

@@ -102,6 +102,7 @@ class ChiaroscuroRun:
         seed: int = 0,
         keypair: ThresholdKeypair | None = None,
         cycle_hook: Callable[[int, int], None] | None = None,
+        fault_plan=None,
     ) -> None:
         self.dataset = dataset
         self.strategy = strategy
@@ -126,6 +127,10 @@ class ChiaroscuroRun:
         # Observability hook handed to every per-iteration gossip engine:
         # called after each cycle with (cycle_index, exchanges_in_cycle).
         self.cycle_hook = cycle_hook
+        # Optional FaultPlan (repro.faults): the protocol never reads it —
+        # it only wraps the per-iteration engine and the computation output
+        # at the two seams below, so fault-free runs are bit-identical.
+        self.fault_plan = fault_plan
 
         population = dataset.t
         tau = params.tau_count(population)
@@ -141,6 +146,8 @@ class ChiaroscuroRun:
             self.backend = None
             self.plane = None
             self.participants = []
+            if self.fault_plan is not None:
+                self.fault_plan.bind_run(self)
             return
         if keypair is None:
             with bigint.use_backend(self.bigint_backend):
@@ -226,6 +233,8 @@ class ChiaroscuroRun:
             )
             for i in range(population)
         ]
+        if self.fault_plan is not None:
+            self.fault_plan.bind_run(self)
 
     def smoothing_plan(self) -> tuple[int, bool]:
         """(window, applies) for this run — shared by both substrates."""
@@ -310,6 +319,8 @@ class ChiaroscuroRun:
                     churn=churn,
                 )
                 engine.on_cycle = self.cycle_hook
+                if self.fault_plan is not None:
+                    engine = self.fault_plan.wrap_engine(engine, iteration)
 
                 # Assignment step (local, per participant).
                 mean_vectors = {
@@ -336,6 +347,8 @@ class ChiaroscuroRun:
                     plane=self.plane,
                 )
                 output = step.run(engine, mean_vectors)
+                if self.fault_plan is not None:
+                    output = self.fault_plan.observe_output(output, iteration)
                 if not output.sums:
                     return
 
@@ -379,6 +392,8 @@ class ChiaroscuroRun:
                 dataset.t, seed=self.seed + 1000 * iteration, churn=churn
             )
             engine.on_cycle = self.cycle_hook
+            if self.fault_plan is not None:
+                engine = self.fault_plan.wrap_engine(engine, iteration)
 
             # Assignment step (Alg. 1 l.5-6), whole population at once: the
             # t × k·(n+1) matrix whose row i carries series i in the
@@ -411,6 +426,8 @@ class ChiaroscuroRun:
             )
             output = step.run(engine, mean_matrix)
             del mean_matrix
+            if self.fault_plan is not None:
+                output = self.fault_plan.observe_output(output, iteration)
             if not output.sums:
                 return
 

@@ -66,12 +66,18 @@ class DeviceRegistry:
 
 @dataclass
 class CrossCheckReport:
-    """Outcome of one decryption cross-check round."""
+    """Outcome of one decryption cross-check round.
+
+    ``non_finite`` names the participants whose reports carried NaN/inf
+    digests — they are always also in ``deviating`` (a non-finite digest is
+    never a benign epidemic spread; it is a poisoned or garbage report).
+    """
 
     agreeing: list[int]
     deviating: list[int]
     reference: np.ndarray
     max_benign_spread: float
+    non_finite: list[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -96,21 +102,42 @@ class DecryptionCrossCheck:
         self.absolute_floor = absolute_floor
 
     def check(self, reports: dict[int, np.ndarray]) -> CrossCheckReport:
-        """Compare per-participant decrypted vectors; returns the report."""
+        """Compare per-participant decrypted vectors; returns the report.
+
+        Non-finite digests (NaN/inf) are rejected explicitly: a NaN compares
+        false against *any* tolerance, so without this gate a poisoned
+        report would land in neither bucket and the round could read as
+        clean.  Non-finite reporters are excluded from the median reference
+        and flagged as deviating (and named in ``non_finite``).  If every
+        report is non-finite there is no reference to check against and the
+        round itself fails loudly.
+        """
         if not reports:
             raise ValueError("no reports to cross-check")
         ids = sorted(reports)
         stacked = np.array([np.asarray(reports[i], dtype=float).ravel() for i in ids])
-        reference = np.median(stacked, axis=0)
+        finite_rows = np.isfinite(stacked).all(axis=1)
+        non_finite = [i for i, ok in zip(ids, finite_rows) if not ok]
+        if not finite_rows.any():
+            shown = ids if len(ids) <= 16 else f"{ids[:16]} (+{len(ids) - 16} more)"
+            raise ValueError(
+                "every cross-check report is non-finite; no reference can "
+                f"be established (participants: {shown})"
+            )
+        reference = np.median(stacked[finite_rows], axis=0)
         scale = np.maximum(np.abs(reference), self.absolute_floor)
-        deviation = np.abs(stacked - reference) / scale
-        worst = deviation.max(axis=1)
+        with np.errstate(invalid="ignore"):
+            deviation = np.abs(stacked - reference) / scale
+            worst = np.where(finite_rows, deviation.max(axis=1), np.inf)
         agreeing = [i for i, w in zip(ids, worst) if w <= self.relative_tolerance]
         deviating = [i for i, w in zip(ids, worst) if w > self.relative_tolerance]
-        benign = float(worst[[ids.index(i) for i in agreeing]].max()) if agreeing else 0.0
+        benign = float(
+            max(w for i, w in zip(ids, worst) if w <= self.relative_tolerance)
+        ) if agreeing else 0.0
         return CrossCheckReport(
             agreeing=agreeing,
             deviating=deviating,
             reference=reference,
             max_benign_spread=benign,
+            non_finite=non_finite,
         )

@@ -1,0 +1,48 @@
+"""repro.faults — the pluggable fault plane (hostile deployments).
+
+Registry-keyed fault classes injectable into live protocol runs through
+``RunSpec.faults``, strictly outside protocol logic (see
+:mod:`repro.faults.base` for the two neutral seams):
+
+* ``network`` — message loss / duplication / delay at the exchange
+  boundary (:class:`~repro.faults.network.NetworkFault`);
+* ``byzantine`` — tampered, replayed, malformed or unenrolled
+  participants, exercised against the Sec. 4.4 countermeasures
+  (:class:`~repro.faults.byzantine.ByzantineFault`);
+* ``collusion`` — a coalition controller empirically auditing the
+  App. B.3 bounds (:class:`~repro.faults.collusion.CollusionFault`);
+* ``churn-storm`` — correlated burst outages generalizing the Sec. 6.1.5
+  churn model (:class:`~repro.faults.storm.ChurnStormFault`).
+
+Importing this package registers all built-in fault kinds.
+"""
+
+from .base import (
+    FAULTS,
+    FaultAbort,
+    FaultInjector,
+    RunBinding,
+    build_fault,
+    fault_rng,
+    register_fault,
+)
+from .byzantine import ByzantineFault
+from .collusion import CollusionFault
+from .network import NetworkFault
+from .plan import FaultPlan
+from .storm import ChurnStormFault
+
+__all__ = [
+    "FAULTS",
+    "ByzantineFault",
+    "ChurnStormFault",
+    "CollusionFault",
+    "FaultAbort",
+    "FaultInjector",
+    "FaultPlan",
+    "NetworkFault",
+    "RunBinding",
+    "build_fault",
+    "fault_rng",
+    "register_fault",
+]

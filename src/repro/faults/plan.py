@@ -1,0 +1,134 @@
+"""FaultPlan — per-run orchestration of the declared fault injectors.
+
+An :class:`~repro.api.experiment.Experiment` builds one plan per run from
+``RunSpec.faults`` and hands it to :class:`~repro.core.protocol.ChiaroscuroRun`
+(which stays injector-agnostic: it calls exactly two neutral seams,
+``wrap_engine`` and ``observe_output``).  The plan:
+
+* instantiates **fresh** injectors with fresh named RNG streams on every
+  ``bind_run`` — re-running an experiment object replays identical faults;
+* wraps each per-iteration gossip engine in the matching proxy
+  (:mod:`repro.faults.engines`);
+* chains the injectors' report-level hooks after every computation step;
+* buffers :class:`~repro.api.events.FaultDetected` events for the facade
+  to drain into the run's event stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..api.events import FaultDetected
+from ..gossip.engine import GossipEngine
+from ..gossip.vectorized_protocol import VectorizedGossipEngine
+from .base import FaultAbort, RunBinding, build_fault, fault_rng
+from .engines import FaultyObjectEngine, FaultyVectorizedEngine
+
+__all__ = ["FaultPlan"]
+
+
+def _plain(value: Any) -> Any:
+    """Coerce detector evidence to JSON-ready plain types for the wire."""
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+class FaultPlan:
+    """The fault configuration of one run, plus its per-run live state."""
+
+    def __init__(self, entries: Iterable[tuple[str, Any]], seed: int) -> None:
+        #: ``(registry kind, frozen config)`` pairs, in spec order.
+        self.entries: tuple[tuple[str, Any], ...] = tuple(entries)
+        self.seed = int(seed)
+        self.injectors: list = []
+        self.binding: RunBinding | None = None
+        self._events: list[FaultDetected] = []
+        self._iteration: int | None = None
+
+    @classmethod
+    def from_spec(cls, spec: Any) -> "FaultPlan | None":
+        """Build the plan a spec declares; ``None`` when it declares none."""
+        faults = getattr(spec, "faults", ())
+        if not faults:
+            return None
+        entries = [(f.kind, build_fault(f.kind, f.params)) for f in faults]
+        return cls(entries, spec.seed)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def bind_run(self, run: Any) -> None:
+        """Attach to a :class:`ChiaroscuroRun`; instantiates fresh injectors.
+
+        Called from the run's constructor once population and (object
+        plane) key material exist; bind-time detections (e.g. the device
+        registry rejecting unenrolled devices) are buffered as iteration-0
+        events and drained with the first iteration.
+        """
+        self.binding = RunBinding(run)
+        self.injectors = []
+        self._events = []
+        self._iteration = None
+        for index, (kind, config) in enumerate(self.entries):
+            injector = config.build(fault_rng(self.binding.seed, kind, index))
+            injector.kind = kind
+            self.injectors.append(injector)
+        for injector in self.injectors:
+            injector.bind(self.binding, self)
+
+    def wrap_engine(self, engine: Any, iteration: int) -> Any:
+        """The per-iteration engine seam: wrap in the matching proxy."""
+        if iteration != self._iteration:
+            self._iteration = iteration
+            for injector in self.injectors:
+                injector.begin_iteration(iteration)
+        if isinstance(engine, GossipEngine):
+            return FaultyObjectEngine(engine, self, iteration)
+        if isinstance(engine, VectorizedGossipEngine):
+            return FaultyVectorizedEngine(engine, self, iteration)
+        raise TypeError(
+            f"no fault proxy for engine type {type(engine).__name__}"
+        )
+
+    def observe_output(self, output: Any, iteration: int) -> Any:
+        """The report seam: chain every injector's report-level hook."""
+        for injector in self.injectors:
+            output = injector.observe_output(output, iteration, self)
+        return output
+
+    # ---------------------------------------------------------------- events
+
+    def detected(
+        self,
+        iteration: int,
+        fault: str,
+        detector: str,
+        participants: Iterable[int],
+        detail: dict,
+    ) -> None:
+        """Buffer a detection event (drained into the run's event stream)."""
+        self._events.append(
+            FaultDetected(
+                iteration=int(iteration),
+                fault=fault,
+                detector=detector,
+                participants=tuple(int(p) for p in participants),
+                detail=_plain(detail),
+            )
+        )
+
+    def drain_events(self) -> list[FaultDetected]:
+        events, self._events = self._events, []
+        return events
+
+    def abort(self, fault: str, iteration: int, reason: str) -> None:
+        """Escalate a detection to a clean run abort."""
+        raise FaultAbort(fault, int(iteration), reason)

@@ -1,8 +1,11 @@
 """Tests for the Sec. 4.4 malicious-attacker countermeasures."""
 
+import hmac
+
 import numpy as np
 import pytest
 
+import repro.core.verification as verification_module
 from repro.core import DecryptionCrossCheck, DeviceRegistry
 
 
@@ -41,6 +44,36 @@ class TestDeviceRegistry:
         a = DeviceRegistry(secret=b"a")
         b = DeviceRegistry(secret=b"b")
         assert a.token_for(1) != b.token_for(1)
+
+    def test_near_miss_token_rejected(self):
+        """A token differing in a single hex digit never enrolls."""
+        registry = DeviceRegistry(secret=b"registrar-secret")
+        token = registry.token_for(5)
+        flipped = ("0" if token[-1] != "0" else "1") + token[1:]
+        near_miss = token[:-1] + ("0" if token[-1] != "0" else "1")
+        for forged in (flipped, near_miss, token[:-1], token + "0"):
+            with pytest.raises(PermissionError):
+                registry.enroll(5, forged)
+        assert not registry.is_authorized(5)
+
+    def test_comparison_goes_through_compare_digest(self, monkeypatch):
+        """Regression: token checks must stay on the constant-time
+        comparator, never drift back to ``==`` (timing side channel)."""
+        calls = []
+        real = hmac.compare_digest
+
+        def spying(a, b):
+            calls.append((a, b))
+            return real(a, b)
+
+        monkeypatch.setattr(
+            verification_module.hmac, "compare_digest", spying
+        )
+        registry = DeviceRegistry(secret=b"registrar-secret")
+        registry.enroll(3, registry.token_for(3))
+        with pytest.raises(PermissionError):
+            registry.enroll(4, registry.token_for(3))
+        assert len(calls) == 2  # one comparison per enroll attempt
 
 
 class TestDecryptionCrossCheck:
@@ -90,3 +123,61 @@ class TestDecryptionCrossCheck:
     def test_invalid_tolerance(self):
         with pytest.raises(ValueError):
             DecryptionCrossCheck(relative_tolerance=0.0)
+
+
+class TestNonFiniteDigests:
+    """A NaN compares false against any tolerance — without an explicit
+    gate a poisoned report would land in neither bucket."""
+
+    def test_nan_report_flagged_as_deviating(self):
+        truth = np.array([10.0, 20.0, 30.0])
+        reports = {i: truth.copy() for i in range(8)}
+        reports[3] = np.array([10.0, np.nan, 30.0])
+        report = DecryptionCrossCheck(relative_tolerance=1e-3).check(reports)
+        assert report.deviating == [3]
+        assert report.non_finite == [3]
+        assert 3 not in report.agreeing
+        assert not report.clean
+
+    def test_inf_report_flagged_as_deviating(self):
+        truth = np.array([10.0, 20.0])
+        reports = {i: truth.copy() for i in range(6)}
+        reports[0] = np.array([np.inf, 20.0])
+        reports[5] = np.array([10.0, -np.inf])
+        report = DecryptionCrossCheck(relative_tolerance=1e-3).check(reports)
+        assert report.deviating == [0, 5]
+        assert report.non_finite == [0, 5]
+
+    def test_non_finite_excluded_from_reference(self):
+        """Poisoned reports must not drag the median; the reference stays
+        the honest value."""
+        truth = np.array([100.0, 200.0])
+        reports = {i: truth.copy() for i in range(5)}
+        for i in range(5, 9):
+            reports[i] = np.full(2, np.nan)
+        report = DecryptionCrossCheck(relative_tolerance=1e-3).check(reports)
+        assert np.array_equal(report.reference, truth)
+        assert sorted(report.deviating) == [5, 6, 7, 8]
+
+    def test_non_finite_is_subset_of_deviating(self):
+        rng = np.random.default_rng(0)
+        reports = {}
+        for i in range(12):
+            vector = rng.normal(size=4) * 100
+            if i % 3 == 0:
+                vector[i % 4] = np.nan
+            if i % 5 == 0:
+                vector *= 10  # also numerically deviant
+            reports[i] = vector
+        report = DecryptionCrossCheck(relative_tolerance=1e-2).check(reports)
+        assert set(report.non_finite) <= set(report.deviating)
+
+    def test_all_non_finite_fails_loudly(self):
+        reports = {i: np.full(3, np.nan) for i in range(4)}
+        with pytest.raises(ValueError, match="non-finite"):
+            DecryptionCrossCheck().check(reports)
+
+    def test_all_non_finite_error_truncates_participant_list(self):
+        reports = {i: np.array([np.inf]) for i in range(40)}
+        with pytest.raises(ValueError, match=r"\+24 more"):
+            DecryptionCrossCheck().check(reports)

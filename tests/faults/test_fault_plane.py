@@ -1,0 +1,273 @@
+"""End-to-end fault injection through the Experiment API, both planes.
+
+Every test drives a full hostile deployment through ``RunSpec.faults`` and
+asserts on the *event stream*: detections carry the right detector, aborts
+are clean (``RunCompleted(reason="aborted")``, never a stack trace), and
+an empty faults block is bit-identical to no fault plane at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Experiment,
+    FaultDetected,
+    IterationCompleted,
+    RunAborted,
+    RunCompleted,
+    RunSpec,
+)
+
+
+def toy_spec(toy_dataset, toy_initial_centroids, plane, faults=None,
+             **param_overrides) -> RunSpec:
+    """The tests/conftest toy workload (24 devices, 3 clusters) as a spec."""
+    params = {"k": 3, "max_iterations": 2, "exchanges": 12,
+              "tau_fraction": 0.13, "epsilon": 2000.0, "key_bits": 256,
+              "expansion_s": 2, "use_smoothing": False, "theta": 0.0}
+    params.update(param_overrides)
+    d = {
+        "name": "fault-toy",
+        "seed": 3,
+        "strategy": "UF2",
+        "plane": plane,
+        "dataset": {"kind": "timeseries",
+                    "params": {"values": toy_dataset.values.tolist(),
+                               "dmin": 0.0, "dmax": 60.0, "name": "toy"}},
+        "init": {"kind": "matrix",
+                 "params": {"values": toy_initial_centroids.tolist()}},
+        "params": params,
+    }
+    if faults is not None:
+        d["faults"] = faults
+    return RunSpec.from_dict(d)
+
+
+def run_events(spec, keypair):
+    return list(Experiment.from_spec(spec, keypair=keypair).run_iter())
+
+
+def detections(events, detector=None):
+    found = [e for e in events if isinstance(e, FaultDetected)]
+    if detector is not None:
+        found = [e for e in found if e.detector == detector]
+    return found
+
+
+def final_reason(events):
+    assert isinstance(events[-1], RunCompleted)
+    return events[-1].reason
+
+
+@pytest.mark.parametrize("plane", ["object", "vectorized"])
+class TestBitIdentity:
+    def test_empty_faults_block_is_bit_identical(
+        self, plane, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        """The tentpole determinism contract: declaring ``faults: []``
+        changes nothing — not one bit of any released centroid."""
+        without = toy_spec(toy_dataset, toy_initial_centroids, plane)
+        with_empty = toy_spec(toy_dataset, toy_initial_centroids, plane,
+                              faults=[])
+        a = Experiment.from_spec(without, keypair=threshold_keypair_s2).run()
+        b = Experiment.from_spec(with_empty, keypair=threshold_keypair_s2).run()
+        assert np.array_equal(a.centroids, b.centroids)
+        assert len(a.history) == len(b.history)
+        for sa, sb in zip(a.history, b.history):
+            assert np.array_equal(sa.centroids, sb.centroids)
+            assert sa.post_inertia == sb.post_inertia
+
+
+@pytest.mark.parametrize("plane", ["object", "vectorized"])
+class TestNetworkFault:
+    def test_lossy_network_degrades_but_completes(
+        self, plane, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        baseline = toy_spec(toy_dataset, toy_initial_centroids, plane)
+        lossy = toy_spec(
+            toy_dataset, toy_initial_centroids, plane,
+            faults=[{"kind": "network",
+                     "params": {"loss": 0.3, "duplicate": 0.1,
+                                "delay": 0.1, "max_delay": 2}}],
+        )
+        base = Experiment.from_spec(baseline, keypair=threshold_keypair_s2).run()
+        events = run_events(lossy, threshold_keypair_s2)
+        assert final_reason(events) != "aborted"
+        assert not detections(events)  # packet loss is not an *attack* signal
+        iterations = [e for e in events if isinstance(e, IterationCompleted)]
+        assert iterations, "a lossy network must still make progress"
+        # the fault actually bit: the gossip trajectory diverged
+        assert not np.array_equal(iterations[-1].stats.centroids, base.centroids)
+
+
+class TestByzantineTamper:
+    @pytest.mark.parametrize("plane", ["object", "vectorized"])
+    def test_tampered_report_flagged_and_excluded(
+        self, plane, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, plane,
+            faults=[{"kind": "byzantine",
+                     "params": {"nodes": [0], "mode": "tamper",
+                                "scale": 0.5}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        flagged = detections(events, "decryption-cross-check")
+        assert flagged, "a 50% scaled report must not pass the cross-check"
+        assert 0 in flagged[0].participants
+        assert final_reason(events) != "aborted"
+
+    def test_abort_on_detect_escalates(
+        self, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, "vectorized",
+            faults=[{"kind": "byzantine",
+                     "params": {"nodes": [0], "mode": "tamper",
+                                "scale": 0.5, "abort_on_detect": True}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        aborts = [e for e in events if isinstance(e, RunAborted)]
+        assert len(aborts) == 1
+        assert aborts[0].fault == "byzantine"
+        assert final_reason(events) == "aborted"
+
+
+class TestByzantineReplay:
+    def test_replayed_reports_detected_from_second_iteration(
+        self, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, "vectorized",
+            faults=[{"kind": "byzantine",
+                     "params": {"nodes": [2, 3], "mode": "replay"}}],
+            max_iterations=3,
+        )
+        spec = spec.replace(strategy="UF3")
+        events = run_events(spec, threshold_keypair_s2)
+        flagged = detections(events, "decryption-cross-check")
+        assert flagged, "stale replayed reports must deviate from the median"
+        # iteration 1 has nothing to replay yet — detection starts at 2
+        assert min(e.iteration for e in flagged) >= 2
+
+
+class TestByzantineMalformed:
+    def test_object_plane_rejects_at_exchange_boundary(
+        self, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, "object",
+            faults=[{"kind": "byzantine",
+                     "params": {"nodes": [5], "mode": "malformed",
+                                "rate": 1.0}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        guarded = detections(events, "exchange-guard")
+        assert guarded, "a truncated EESum batch must be rejected on receipt"
+        assert guarded[0].detail["mode"] == "malformed"
+
+    def test_vectorized_nan_poison_aborts_cleanly(
+        self, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, "vectorized",
+            faults=[{"kind": "byzantine",
+                     "params": {"nodes": [1], "mode": "malformed"}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        aborts = [e for e in events if isinstance(e, RunAborted)]
+        assert len(aborts) == 1
+        assert aborts[0].epsilon_charged > 0.0
+        assert final_reason(events) == "aborted"
+        assert detections(events, "decryption-cross-check")
+
+
+class TestByzantineUnenrolled:
+    @pytest.mark.parametrize("plane", ["object", "vectorized"])
+    def test_forged_tokens_rejected_at_bootstrap(
+        self, plane, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, plane,
+            faults=[{"kind": "byzantine",
+                     "params": {"nodes": [7, 11], "mode": "unenrolled"}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        rejected = detections(events, "device-registry")
+        assert len(rejected) == 1
+        assert rejected[0].iteration == 0  # bind time, before any gossip
+        assert set(rejected[0].participants) == {7, 11}
+        assert rejected[0].detail["rejected"] == 2
+        assert rejected[0].detail["enrolled"] == 22
+        assert final_reason(events) != "aborted"
+
+
+class TestChurnStorm:
+    @pytest.mark.parametrize("plane", ["object", "vectorized"])
+    def test_storm_onsets_are_observable(
+        self, plane, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, plane,
+            faults=[{"kind": "churn-storm",
+                     "params": {"rate": 1.0, "magnitude": 0.25,
+                                "duration": 2}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        storms = detections(events, "availability-monitor")
+        assert storms, "rate=1.0 must storm on the very first cycle"
+        onset = storms[0]
+        assert onset.detail["offline"] == 6  # 25% of 24
+        assert onset.detail["duration_cycles"] == 2
+        assert final_reason(events) != "aborted"
+
+
+class TestCollusion:
+    def test_below_threshold_coalition_cannot_decrypt(
+        self, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        """c = τ − 1 = 2: the empirical attack recovers garbage, matching
+        the App. B.3 bound."""
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, "object",
+            faults=[{"kind": "collusion", "params": {"collusions": 2}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        audits = detections(events, "coalition-audit")
+        assert len(audits) == 1
+        detail = audits[0].detail
+        assert detail["threshold"] == 3
+        assert detail["key_compromised"] is False
+        assert detail["empirical_decryption"] is False
+        assert detail["missing_key_shares"] == 1
+        assert final_reason(events) != "aborted"
+
+    def test_threshold_coalition_decrypts(
+        self, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        """c = τ = 3: the coalition's combination succeeds empirically."""
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, "object",
+            faults=[{"kind": "collusion", "params": {"collusions": 3}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        detail = detections(events, "coalition-audit")[0].detail
+        assert detail["key_compromised"] is True
+        assert detail["empirical_decryption"] is True
+        assert detail["missing_key_shares"] == 0
+        assert final_reason(events) != "aborted"
+
+    def test_vectorized_audit_is_analytical_only(
+        self, toy_dataset, toy_initial_centroids, threshold_keypair_s2
+    ):
+        spec = toy_spec(
+            toy_dataset, toy_initial_centroids, "vectorized",
+            faults=[{"kind": "collusion", "params": {"fraction": 0.5}}],
+        )
+        events = run_events(spec, threshold_keypair_s2)
+        detail = detections(events, "coalition-audit")[0].detail
+        assert detail["collusions"] == 12
+        assert detail["empirical_decryption"] is None  # no key material
+        assert detail["unknown_noise_fraction"] == pytest.approx(0.5)

@@ -1,0 +1,150 @@
+"""RunSpec.faults: validation, serialization, and registry plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import FaultSpec, RunSpec
+from repro.faults import (
+    FAULTS,
+    ByzantineFault,
+    ChurnStormFault,
+    CollusionFault,
+    NetworkFault,
+    build_fault,
+    fault_rng,
+)
+
+
+def vec_spec_dict(**overrides) -> dict:
+    d = {
+        "plane": "vectorized",
+        "seed": 7,
+        "strategy": "UF2",
+        "dataset": {"kind": "points2d",
+                    "params": {"n_clusters": 4, "points_per_cluster": 6,
+                               "duplications": 1}},
+        "init": {"kind": "sample"},
+        "params": {"k": 3, "max_iterations": 2, "epsilon": 100.0,
+                   "theta": 0.0},
+    }
+    d.update(overrides)
+    return d
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        assert {"network", "byzantine", "collusion", "churn-storm"} <= set(
+            FAULTS.keys()
+        )
+
+    def test_build_fault_constructs_config(self):
+        config = build_fault("network", {"loss": 0.25})
+        assert isinstance(config, NetworkFault)
+        assert config.loss == 0.25
+
+    def test_build_fault_unknown_kind(self):
+        with pytest.raises(KeyError):
+            build_fault("cosmic-rays", {})
+
+    def test_build_fault_bad_params(self):
+        with pytest.raises(ValueError):
+            build_fault("network", {"bandwidth": 56})  # unknown knob
+        with pytest.raises(ValueError):
+            build_fault("network", {"loss": 1.5})  # out of range
+
+
+class TestFaultConfigValidation:
+    def test_network_ranges(self):
+        with pytest.raises(ValueError):
+            NetworkFault(loss=-0.1)
+        with pytest.raises(ValueError):
+            NetworkFault(duplicate=1.0)
+        with pytest.raises(ValueError):
+            NetworkFault(delay=0.1, max_delay=0)
+
+    def test_byzantine_needs_a_subset(self):
+        with pytest.raises(ValueError):
+            ByzantineFault()
+        with pytest.raises(ValueError):
+            ByzantineFault(fraction=0.1, mode="jamming")
+        with pytest.raises(ValueError):
+            ByzantineFault(fraction=0.1, mode="tamper", scale=0.0)
+
+    def test_collusion_needs_a_coalition(self):
+        with pytest.raises(ValueError):
+            CollusionFault()
+        with pytest.raises(ValueError):
+            CollusionFault(collusions=-1)
+        with pytest.raises(ValueError):
+            CollusionFault(fraction=1.5)
+
+    def test_storm_delegates_to_churn_process(self):
+        with pytest.raises(ValueError):
+            ChurnStormFault(rate=1.5)
+        with pytest.raises(ValueError):
+            ChurnStormFault(magnitude=0.0)
+        with pytest.raises(ValueError):
+            ChurnStormFault(duration=0)
+
+
+class TestSpecIntegration:
+    def test_faults_accepted_on_protocol_planes(self):
+        spec = RunSpec.from_dict(vec_spec_dict(
+            faults=[{"kind": "network", "params": {"loss": 0.1}}],
+        ))
+        assert spec.faults == (FaultSpec("network", {"loss": 0.1}),)
+
+    def test_faults_rejected_on_quality_plane(self):
+        with pytest.raises(ValueError, match="protocol plane"):
+            RunSpec.from_dict(vec_spec_dict(
+                plane="quality",
+                faults=[{"kind": "network", "params": {"loss": 0.1}}],
+            ))
+
+    def test_unknown_fault_kind_rejected_at_spec_time(self):
+        with pytest.raises(ValueError):
+            RunSpec.from_dict(vec_spec_dict(
+                faults=[{"kind": "cosmic-rays", "params": {}}],
+            ))
+
+    def test_bad_fault_params_rejected_at_spec_time(self):
+        with pytest.raises(ValueError):
+            RunSpec.from_dict(vec_spec_dict(
+                faults=[{"kind": "byzantine", "params": {"fraction": 2.0}}],
+            ))
+
+    def test_round_trip_preserves_faults(self):
+        spec = RunSpec.from_dict(vec_spec_dict(faults=[
+            {"kind": "network", "params": {"loss": 0.2, "delay": 0.1}},
+            {"kind": "byzantine",
+             "params": {"fraction": 0.1, "mode": "tamper", "scale": 0.5}},
+        ]))
+        again = RunSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.to_dict() == spec.to_dict()
+
+    def test_empty_faults_serialize_to_nothing(self):
+        """Fault-free specs keep their pre-fault-plane serialization, so
+        checkpoint spec-identity comparisons keep working."""
+        without_key = RunSpec.from_dict(vec_spec_dict())
+        with_empty = RunSpec.from_dict(vec_spec_dict(faults=[]))
+        assert "faults" not in without_key.to_dict()
+        assert with_empty.to_dict() == without_key.to_dict()
+        assert with_empty == without_key
+
+
+class TestFaultRng:
+    def test_streams_are_deterministic(self):
+        a = fault_rng(42, "network", 0).random(8)
+        b = fault_rng(42, "network", 0).random(8)
+        assert np.array_equal(a, b)
+
+    def test_streams_are_independent(self):
+        base = fault_rng(42, "network", 0).random(8)
+        other_kind = fault_rng(42, "byzantine", 0).random(8)
+        other_index = fault_rng(42, "network", 1).random(8)
+        other_seed = fault_rng(43, "network", 0).random(8)
+        for stream in (other_kind, other_index, other_seed):
+            assert not np.array_equal(base, stream)

@@ -1,6 +1,8 @@
 """Tests for the Appendix B.3 collusion analysis."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.privacy import CollusionAnalysis
 
@@ -36,3 +38,55 @@ class TestCollusion:
             CollusionAnalysis(10, 10, 3, 11)
         with pytest.raises(ValueError):
             CollusionAnalysis(10, 10, 0, 1)
+
+
+class TestBoundaries:
+    def test_coalition_exactly_at_threshold(self):
+        """c == τ is the first compromised size — not one later."""
+        at = CollusionAnalysis(50, 50, 7, 7)
+        assert at.key_compromised
+        assert at.missing_key_shares == 0
+        assert at.unknown_noise_fraction == pytest.approx(43 / 50)
+
+    def test_population_of_one(self):
+        """The degenerate single-device population: the device alone is
+        the whole threshold and holds all the noise."""
+        alone = CollusionAnalysis(1, 1, 1, 1)
+        assert alone.key_compromised
+        assert alone.unknown_noise_fraction == 0.0
+        assert alone.residual_noise_shape() == 0.0
+        honest = CollusionAnalysis(1, 1, 1, 0)
+        assert not honest.key_compromised
+        assert honest.missing_key_shares == 1
+        assert honest.unknown_noise_fraction == 1.0
+
+    def test_full_population_collusion(self):
+        """Everyone colluding: nothing left unknown, key fully held."""
+        total = CollusionAnalysis(200, 200, 20, 200)
+        assert total.key_compromised
+        assert total.missing_key_shares == 0
+        assert total.unknown_noise_fraction == 0.0
+        assert total.residual_noise_shape() == 0.0
+
+
+class TestMonotonicity:
+    @given(
+        population=st.integers(2, 10_000),
+        threshold_fraction=st.floats(0.001, 1.0),
+        data=st.data(),
+    )
+    def test_missing_key_shares_monotone_in_collusions(
+        self, population, threshold_fraction, data
+    ):
+        """Adding a colluder never *increases* what the coalition lacks,
+        and each new colluder closes the gap by at most one share."""
+        threshold = max(1, round(threshold_fraction * population))
+        c = data.draw(st.integers(0, population - 1), label="collusions")
+        smaller = CollusionAnalysis(population, population, threshold, c)
+        larger = CollusionAnalysis(population, population, threshold, c + 1)
+        assert larger.missing_key_shares <= smaller.missing_key_shares
+        assert smaller.missing_key_shares - larger.missing_key_shares <= 1
+        assert larger.unknown_noise_fraction < smaller.unknown_noise_fraction
+        # compromise is a monotone event: once in, never out
+        if smaller.key_compromised:
+            assert larger.key_compromised

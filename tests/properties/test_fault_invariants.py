@@ -1,0 +1,188 @@
+"""Property tests of the fault plane's two load-bearing guarantees.
+
+1. **ε-accounting never under-reports.**  Whatever a fault does to the
+   gossip layer, the privacy ledger the events stream reports is exact:
+   ``epsilon_spent_total`` is monotone and equals the sum of per-iteration
+   charges, and an aborted run reports *at least* everything spent —
+   including the aborted iteration's slice, which the accountant charged
+   before the iteration ran.
+
+2. **Byzantine injection is detected or provably harmless.**  A tampered
+   decryption report either trips the cross-check (and is excluded from
+   the canonical output), or its deviation is below the detection
+   tolerance — in which case the released centroids are within that same
+   tolerance of the fault-free run.  There is no third outcome where an
+   altered result flows downstream unnoticed and unbounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    Experiment,
+    FaultDetected,
+    IterationCompleted,
+    RunAborted,
+    RunCompleted,
+    RunSpec,
+)
+
+EPSILON = 2000.0
+
+
+def vec_spec(toy_dataset, toy_initial_centroids, faults, seed=3,
+             iterations=2) -> RunSpec:
+    return RunSpec.from_dict({
+        "plane": "vectorized",
+        "seed": seed,
+        "strategy": f"UF{iterations}",
+        "dataset": {"kind": "timeseries",
+                    "params": {"values": toy_dataset.values.tolist(),
+                               "dmin": 0.0, "dmax": 60.0, "name": "toy"}},
+        "init": {"kind": "matrix",
+                 "params": {"values": toy_initial_centroids.tolist()}},
+        "params": {"k": 3, "max_iterations": iterations, "exchanges": 12,
+                   "tau_fraction": 0.13, "epsilon": EPSILON,
+                   "key_bits": 256, "use_smoothing": False, "theta": 0.0},
+        "faults": faults,
+    })
+
+
+class TestEpsilonNeverUnderReported:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        loss=st.floats(0.0, 0.6),
+        duplicate=st.floats(0.0, 0.3),
+        delay=st.floats(0.0, 0.3),
+    )
+    def test_ledger_exact_under_network_faults(
+        self, toy_dataset, toy_initial_centroids, seed, loss, duplicate, delay
+    ):
+        spec = vec_spec(
+            toy_dataset, toy_initial_centroids,
+            [{"kind": "network",
+              "params": {"loss": loss, "duplicate": duplicate,
+                         "delay": delay}}],
+            seed=seed,
+        )
+        events = list(Experiment.from_spec(spec).run_iter())
+        iterations = [e for e in events if isinstance(e, IterationCompleted)]
+        running = 0.0
+        for event in iterations:
+            running += event.stats.epsilon_spent
+            assert event.epsilon_spent_total == pytest.approx(running)
+        totals = [e.epsilon_spent_total for e in iterations]
+        assert totals == sorted(totals)
+        if totals:
+            assert totals[-1] <= EPSILON + 1e-9
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000), node=st.integers(0, 23))
+    def test_aborted_run_charges_the_aborted_iteration(
+        self, toy_dataset, toy_initial_centroids, seed, node
+    ):
+        """The NaN poison aborts at iteration 1; its ε slice was charged
+        before the iteration ran and must be reported, never clawed back."""
+        spec = vec_spec(
+            toy_dataset, toy_initial_centroids,
+            [{"kind": "byzantine",
+              "params": {"nodes": [node], "mode": "malformed"}}],
+            seed=seed,
+        )
+        events = list(Experiment.from_spec(spec).run_iter())
+        aborts = [e for e in events if isinstance(e, RunAborted)]
+        assert len(aborts) == 1
+        completed = sum(
+            e.stats.epsilon_spent for e in events
+            if isinstance(e, IterationCompleted)
+        )
+        # ≥ everything completed, plus exactly the aborted slice (UF
+        # strategy: uniform ε/n per iteration)
+        assert aborts[0].epsilon_charged >= completed
+        assert aborts[0].epsilon_charged == pytest.approx(
+            completed + EPSILON / 2
+        )
+        assert events[-1].reason == "aborted"
+
+
+class TestDetectedOrHarmless:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        scale=st.floats(0.05, 2.0),
+        node=st.integers(0, 23),
+    )
+    def test_large_tamper_is_always_flagged(
+        self, toy_dataset, toy_initial_centroids, seed, scale, node
+    ):
+        """Any deviation well above the cross-check tolerance is caught,
+        whichever node deviates and whatever the gossip randomness."""
+        spec = vec_spec(
+            toy_dataset, toy_initial_centroids,
+            [{"kind": "byzantine",
+              "params": {"nodes": [node], "mode": "tamper", "scale": scale,
+                         "tolerance": 1e-2}}],
+            seed=seed,
+        )
+        events = list(Experiment.from_spec(spec).run_iter())
+        flagged = [
+            e for e in events
+            if isinstance(e, FaultDetected)
+            and e.detector == "decryption-cross-check"
+            and node in e.participants
+        ]
+        assert flagged, f"node {node} tampering at {scale:+.0%} went unseen"
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_sub_tolerance_tamper_is_provably_harmless(
+        self, toy_dataset, toy_initial_centroids, seed
+    ):
+        """A deviation below the tolerance may pass — but then it cannot
+        alter the released result beyond that tolerance either: the
+        canonical node's perturbed means are a sums/counts ratio, and a
+        uniform sub-tolerance scaling cancels in it."""
+        tiny = 1e-9
+        faulted = vec_spec(
+            toy_dataset, toy_initial_centroids,
+            [{"kind": "byzantine",
+              "params": {"nodes": [0], "mode": "tamper", "scale": tiny,
+                         "tolerance": 1e-2}}],
+            seed=seed,
+        )
+        baseline = vec_spec(toy_dataset, toy_initial_centroids, [], seed=seed)
+        faulted_events = list(Experiment.from_spec(faulted).run_iter())
+        assert faulted_events[-1].reason != "aborted"
+        result = faulted_events[-1].result
+        base = Experiment.from_spec(baseline).run()
+        assert result.centroids.shape == base.centroids.shape
+        np.testing.assert_allclose(
+            result.centroids, base.centroids, rtol=1e-6, atol=1e-9
+        )
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_every_event_stream_ends_cleanly(
+        self, toy_dataset, toy_initial_centroids, seed
+    ):
+        """However hostile the deployment, the stream ends in RunCompleted
+        — aborts are events, not exceptions."""
+        spec = vec_spec(
+            toy_dataset, toy_initial_centroids,
+            [
+                {"kind": "network", "params": {"loss": 0.4}},
+                {"kind": "byzantine",
+                 "params": {"fraction": 0.2, "mode": "tamper",
+                            "scale": 0.8}},
+                {"kind": "churn-storm",
+                 "params": {"rate": 0.3, "magnitude": 0.3, "duration": 3}},
+            ],
+            seed=seed,
+        )
+        events = list(Experiment.from_spec(spec).run_iter())
+        assert isinstance(events[-1], RunCompleted)
