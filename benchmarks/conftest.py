@@ -35,10 +35,11 @@ def record_report(name: str, title: str, lines: list[str]) -> None:
     (_OUT_DIR / f"{name}.txt").write_text(title + "\n" + "\n".join(lines) + "\n")
 
 
-def _git_rev() -> str:
+def _git_rev(short: bool = True) -> str:
+    args = ["git", "rev-parse"] + (["--short"] if short else []) + ["HEAD"]
     try:
         return subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
+            args,
             cwd=pathlib.Path(__file__).parent,
             capture_output=True,
             text=True,
@@ -61,12 +62,24 @@ def record_json(name: str, data: dict) -> None:
     artifacts.
     """
     _OUT_DIR.mkdir(exist_ok=True)
+    now = time.time()
+    timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(now))
     envelope = {
         "schema": "chiaroscuro-bench/v1",
         "bench": name,
         "git_rev": _git_rev(),
         "python": sys.version.split()[0],
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": timestamp,
+        # The ordering block the warehouse's bench-trajectory view keys
+        # on: a numeric epoch (no ISO parsing, no filesystem mtimes) and
+        # the full revision alongside the short one.  The legacy
+        # top-level git_rev/timestamp stay for old readers.
+        "provenance": {
+            "git_rev": _git_rev(),
+            "git_rev_full": _git_rev(short=False),
+            "timestamp": timestamp,
+            "unix_time": round(now, 3),
+        },
         "data": data,
     }
     payload = json.dumps(envelope, indent=2) + "\n"

@@ -58,7 +58,7 @@ from .core import (
 )
 from .privacy import Greedy, GreedyFloor, UniformFast
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ChiaroscuroParams",

@@ -30,12 +30,23 @@ survives kills by resuming from checkpoints::
     python -m repro serve --root runs --max-workers 8 --drain
     python -m repro jobs --root runs
     python -m repro tail --root runs <job-id>
+
+``db``/``report``   the run warehouse: incrementally ingest service
+roots, ``--json-out`` records and ``BENCH_*.json`` mirrors into sqlite,
+then reproduce the paper's comparisons from stored runs (no re-run)::
+
+    python -m repro db ingest runs BENCH_fig3_attack_quality.json --db wh.db
+    python -m repro db ingest runs --db wh.db --follow       # live fleet
+    python -m repro report fig3 --db wh.db
+    python -m repro db query "SELECT * FROM v_detector_counts" --db wh.db
+    python -m repro jobs --db wh.db                          # store offline
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import replace
@@ -128,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     jobs = sub.add_parser("jobs", help="list the service root's jobs")
     jobs.add_argument("--root", metavar="DIR", default="service-root")
+    jobs.add_argument("--db", metavar="FILE", default=None, dest="db_path",
+                      help="read job status from an ingested warehouse "
+                           "instead of the store directory (for when the "
+                           "root is remote or unavailable)")
     jobs.add_argument("--state", choices=("queued", "running", "completed",
                                           "failed"),
                       default=None, help="only jobs in this state")
@@ -145,6 +160,84 @@ def build_parser() -> argparse.ArgumentParser:
     tail.add_argument("--raw", action="store_true",
                       help="print raw NDJSON records instead of the "
                            "rendered form")
+
+    db = sub.add_parser(
+        "db", help="the run warehouse: ingest and query stored telemetry"
+    )
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+    ingest = db_sub.add_parser(
+        "ingest",
+        help="incrementally ingest service roots, run records and "
+             "BENCH_*.json files (idempotent: re-ingesting is a no-op)",
+    )
+    ingest.add_argument("paths", nargs="+", metavar="PATH",
+                        help="a service root directory, a --json-out run "
+                             "record, a BENCH_*.json file, or a directory "
+                             "of them")
+    ingest.add_argument("--db", metavar="FILE", default="warehouse.db",
+                        dest="db_path", help="warehouse file (default: "
+                                             "warehouse.db; created and "
+                                             "migrated automatically)")
+    ingest.add_argument("--follow", action="store_true",
+                        help="live tailing mode: keep re-ingesting deltas "
+                             "from a running fleet (Ctrl-C to stop)")
+    ingest.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="with --follow: delay between passes "
+                             "(default: 0.5)")
+    ingest.add_argument("--max-seconds", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --follow: stop after this long instead "
+                             "of waiting for Ctrl-C")
+    query = db_sub.add_parser(
+        "query", help="run read-only SQL against the warehouse "
+                      "(tables and v_* views)"
+    )
+    query.add_argument("sql", metavar="SQL")
+    query.add_argument("--db", metavar="FILE", default="warehouse.db",
+                       dest="db_path")
+    query.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit rows as one JSON array")
+    db_stats = db_sub.add_parser(
+        "stats", help="row counts, sources and event-type coverage"
+    )
+    db_stats.add_argument("--db", metavar="FILE", default="warehouse.db",
+                          dest="db_path")
+    db_stats.add_argument("--json", action="store_true", dest="as_json")
+
+    report = sub.add_parser(
+        "report",
+        help="render the paper's comparisons from the warehouse "
+             "(no protocol re-run)",
+    )
+    report_sub = report.add_subparsers(dest="report_command", required=True)
+    rep_fig2 = report_sub.add_parser(
+        "fig2", help="inertia trajectories per strategy (Fig. 2)"
+    )
+    rep_fig2.add_argument("--strategy", default=None,
+                          help="only this budget strategy (e.g. G, UF6)")
+    rep_fig3 = report_sub.add_parser(
+        "fig3", help="quality per deployment vs. baseline "
+                     "(Fig. 3 / quality under attack)"
+    )
+    rep_fig3.add_argument("--like", default=None, metavar="PATTERN",
+                          help="only runs whose name matches this SQL "
+                               "LIKE pattern (e.g. 'attack-%%')")
+    rep_attacks = report_sub.add_parser(
+        "attacks", help="detector counts per fault class"
+    )
+    rep_bench = report_sub.add_parser(
+        "bench", help="bench metric trajectory over git revisions"
+    )
+    rep_bench.add_argument("--bench", default=None,
+                           help="only this bench (e.g. fig3_attack_quality)")
+    rep_bench.add_argument("--metric", default=None, metavar="PATTERN",
+                           help="only metrics matching this SQL LIKE "
+                                "pattern")
+    for rep in (rep_fig2, rep_fig3, rep_attacks, rep_bench):
+        rep.add_argument("--db", metavar="FILE", default="warehouse.db",
+                         dest="db_path")
+        rep.add_argument("--format", choices=("text", "markdown"),
+                         default="text", dest="fmt")
 
     costs = sub.add_parser("costs", help="Fig. 5 cost/bandwidth sheet")
     costs.add_argument("--key-bits", type=int, default=1024)
@@ -328,6 +421,8 @@ def _cmd_submit(args, out) -> int:
 
 
 def _cmd_jobs(args, out) -> int:
+    if args.db_path:
+        return _cmd_jobs_from_db(args, out)
     from .service import JobStore
 
     store = JobStore(args.root)
@@ -346,6 +441,167 @@ def _cmd_jobs(args, out) -> int:
         print(f"{job.job_id:<42} {job.state:<10} "
               f"{job.spec.get('plane', '?'):<11} "
               f"{job.spec.get('strategy', '?'):<9} {job.attempts:>8}", file=out)
+    return 0
+
+
+def _cmd_jobs_from_db(args, out) -> int:
+    """``repro jobs --db``: job status from the warehouse, store offline.
+
+    Sorted exactly like the store's listing — submit order
+    (``submitted_at``, then ``job_id``) — so both surfaces agree
+    row-for-row on the same fleet.
+    """
+    from .warehouse import connect_readonly, run_query
+
+    try:
+        con = connect_readonly(args.db_path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    try:
+        rows = run_query(
+            con,
+            "SELECT job_id, root, name, state, plane, strategy, "
+            "submitted_at, started_at, finished_at, attempts, error "
+            "FROM jobs ORDER BY COALESCE(submitted_at, 0), job_id",
+        )
+    finally:
+        con.close()
+    if args.state:
+        rows = [row for row in rows if row["state"] == args.state]
+    if args.as_json:
+        print(json.dumps(rows, indent=2), file=out)
+        return 0
+    if not rows:
+        print(f"no jobs ingested in {args.db_path}", file=out)
+        return 0
+    print(f"{'job':<42} {'state':<10} {'plane':<11} {'strategy':<9} "
+          f"{'attempts':>8}", file=out)
+    for row in rows:
+        print(f"{row['job_id']:<42} {row['state']:<10} "
+              f"{row['plane'] or '?':<11} "
+              f"{row['strategy'] or '?':<9} {row['attempts']:>8}", file=out)
+    return 0
+
+
+def _cmd_db(args, out) -> int:
+    import sqlite3
+
+    from . import warehouse
+
+    if args.db_command == "ingest":
+        try:
+            con = warehouse.connect(args.db_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        try:
+            if args.follow:
+                import time as _time
+
+                deadline = (
+                    _time.monotonic() + args.max_seconds
+                    if args.max_seconds is not None
+                    else None
+                )
+                try:
+                    totals = warehouse.follow_ingest(
+                        con,
+                        args.paths,
+                        poll_interval=args.poll,
+                        should_stop=(
+                            (lambda: _time.monotonic() >= deadline)
+                            if deadline is not None
+                            else None
+                        ),
+                    )
+                except KeyboardInterrupt:
+                    totals = warehouse.table_counts(con)
+                    print("follow interrupted", file=out)
+            else:
+                totals = warehouse.ingest_paths(con, args.paths)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        finally:
+            con.close()
+        new = {k: v for k, v in totals.items() if v}
+        summary = ", ".join(f"+{v} {k}" for k, v in new.items()) or "no new rows"
+        print(f"ingested into {args.db_path}: {summary}", file=out)
+        return 0
+
+    try:
+        con = warehouse.connect_readonly(args.db_path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    try:
+        if args.db_command == "stats":
+            payload = warehouse.stats(con)
+            if args.as_json:
+                print(json.dumps(payload, indent=2), file=out)
+                return 0
+            print(f"warehouse {args.db_path} "
+                  f"(schema v{payload['schema_version']})", file=out)
+            for table, count in payload["tables"].items():
+                print(f"  {table:<14} {count:>8}", file=out)
+            if payload["runs_by_source"]:
+                print("runs by source: " + ", ".join(
+                    f"{source}={count}"
+                    for source, count in payload["runs_by_source"].items()
+                ), file=out)
+            if payload["events_by_type"]:
+                print("events by type: " + ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in payload["events_by_type"].items()
+                ), file=out)
+            return 0
+        # db query
+        try:
+            rows = warehouse.run_query(con, args.sql)
+        except sqlite3.Error as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        if args.as_json:
+            print(warehouse.to_json(rows), file=out)
+            return 0
+        if not rows:
+            print("(no rows)", file=out)
+            return 0
+        headers = list(rows[0].keys())
+        table = [[("" if row[h] is None else str(row[h])) for h in headers]
+                 for row in rows]
+        for line in warehouse.render_table(headers, table):
+            print(line, file=out)
+        return 0
+    finally:
+        con.close()
+
+
+def _cmd_report(args, out) -> int:
+    from . import warehouse
+
+    try:
+        con = warehouse.connect_readonly(args.db_path)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    try:
+        if args.report_command == "fig2":
+            text = warehouse.report_fig2(
+                con, strategy=args.strategy, fmt=args.fmt
+            )
+        elif args.report_command == "fig3":
+            text = warehouse.report_fig3(con, like=args.like, fmt=args.fmt)
+        elif args.report_command == "attacks":
+            text = warehouse.report_attacks(con, fmt=args.fmt)
+        else:  # bench
+            text = warehouse.report_bench(
+                con, bench=args.bench, metric=args.metric, fmt=args.fmt
+            )
+    finally:
+        con.close()
+    print(text, file=out)
     return 0
 
 
@@ -478,8 +734,18 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "tail": _cmd_tail,
+        "db": _cmd_db,
+        "report": _cmd_report,
     }
-    return handlers[args.command](args, out)
+    try:
+        return handlers[args.command](args, out)
+    except BrokenPipeError:
+        # `repro report ... | head` closing the pipe early is a normal
+        # exit, not a traceback.  Detach stdout so the interpreter's
+        # shutdown flush doesn't raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

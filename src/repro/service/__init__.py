@@ -32,7 +32,7 @@ Programmatic sweeps go through :func:`run_batch`::
 # importing it from the package __init__ would trip runpy's
 # found-in-sys.modules warning in every spawned worker.
 from .batch import load_specs, run_batch
-from .bus import EventBus, append_ndjson, read_events, tail_events
+from .bus import EventBus, append_ndjson, next_seq, read_events, tail_events
 from .scheduler import Scheduler
 from .store import Job, JobState, JobStore
 
@@ -44,6 +44,7 @@ __all__ = [
     "Scheduler",
     "append_ndjson",
     "load_specs",
+    "next_seq",
     "read_events",
     "run_batch",
     "tail_events",

@@ -26,7 +26,7 @@ from ..api.events import RunEvent, event_to_dict
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .store import JobStore
 
-__all__ = ["EventBus", "append_ndjson", "read_events", "tail_events"]
+__all__ = ["EventBus", "append_ndjson", "next_seq", "read_events", "tail_events"]
 
 
 def append_ndjson(path: str | pathlib.Path, record: dict) -> None:
@@ -86,16 +86,52 @@ def tail_events(
         time.sleep(poll_interval)
 
 
+def next_seq(path: str | pathlib.Path) -> int:
+    """The next monotonic ``seq`` for a job log at ``path``.
+
+    Resumes continue the numbering: the successor of the highest ``seq``
+    already on disk, or — for logs written before ``seq`` existed — the
+    count of complete lines, so old and new records never collide.
+    Torn tails and undecodable lines are skipped, consistent with
+    :func:`read_events`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return 0
+    highest = -1
+    lines = 0
+    with open(path, "rb") as fh:
+        for line in fh:
+            if not line.endswith(b"\n"):
+                break  # torn tail: its seq was never durably published
+            lines += 1
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            seq = record.get("seq") if isinstance(record, dict) else None
+            if isinstance(seq, int) and not isinstance(seq, bool):
+                highest = max(highest, seq)
+    return highest + 1 if highest >= 0 else lines
+
+
 class EventBus:
-    """Publish one job's run events to its log and the combined feed."""
+    """Publish one job's run events to its log and the combined feed.
+
+    Every published record carries a monotonic per-job ``seq`` (resumed
+    workers continue where the previous attempt's log ends), giving
+    downstream consumers — the warehouse ingester above all — a stable
+    dedup key.  Readers that predate ``seq`` simply ignore it.
+    """
 
     def __init__(self, store: "JobStore", job_id: str) -> None:
         self.job_id = job_id
         self.events_path = store.events_path(job_id)
         self.feed_path = store.feed_path
+        self._seq = next_seq(self.events_path)
 
     def publish(self, event: RunEvent) -> dict:
-        """Serialize, stamp (job id + wall time), and append to both logs."""
+        """Serialize, stamp (job id + seq + wall time), append to both logs."""
         record = event_to_dict(event)
         record["job"] = self.job_id
         record["ts"] = round(time.time(), 3)
@@ -103,6 +139,8 @@ class EventBus:
         return record
 
     def publish_record(self, record: dict) -> None:
-        """Append an already-shaped record (service lifecycle markers)."""
+        """Stamp ``seq`` and append (run events and lifecycle markers)."""
+        record.setdefault("seq", self._seq)
+        self._seq = record["seq"] + 1
         append_ndjson(self.events_path, record)
         append_ndjson(self.feed_path, record)

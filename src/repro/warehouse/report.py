@@ -1,0 +1,167 @@
+"""Render warehouse analytics as text or markdown tables.
+
+The ``repro report`` surface: each ``report_*`` function pulls one
+analytics shape and returns a printable string, so the CLI (and the CI
+smoke job grepping its output) get stable, diffable tables without a
+plotting dependency — the same spirit as the benchmark suite's
+``record_report`` text renditions.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from . import analytics
+
+__all__ = [
+    "render_table",
+    "report_attacks",
+    "report_bench",
+    "report_fig2",
+    "report_fig3",
+]
+
+
+def _fmt(value, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[str]],
+    fmt: str = "text",
+) -> list[str]:
+    """Lay out one table; ``fmt`` is ``text`` (aligned) or ``markdown``."""
+    if fmt == "markdown":
+        lines = ["| " + " | ".join(headers) + " |"]
+        lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return lines
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rows), 1)
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                      for i, cell in enumerate(row))
+        )
+    return lines
+
+
+def report_fig2(
+    con: sqlite3.Connection, strategy: str | None = None, fmt: str = "text"
+) -> str:
+    """Fig. 2: mean inertia trajectory per strategy over iterations."""
+    rows = analytics.fig2_trajectories(con, strategy=strategy)
+    if not rows:
+        return "no iterations ingested — run `repro db ingest` first"
+    table = [
+        [
+            row["strategy"],
+            str(row["iteration"]),
+            str(row["runs"]),
+            _fmt(row["pre_inertia"]),
+            _fmt(row["pre_inertia_sma3"]),
+            _fmt(row["post_inertia"]),
+            _fmt(row["epsilon_spent_total"], 4),
+        ]
+        for row in rows
+    ]
+    return "\n".join(render_table(
+        ["strategy", "iter", "runs", "pre-inertia", "sma3",
+         "post-inertia", "eps-total"],
+        table,
+        fmt,
+    ))
+
+
+def report_fig3(
+    con: sqlite3.Connection, like: str | None = None, fmt: str = "text"
+) -> str:
+    """Fig. 3: per-deployment final quality vs. the baseline run."""
+    rows = analytics.fig3_quality(con, like=like)
+    if not rows:
+        return "no runs ingested — run `repro db ingest` first"
+    table = []
+    for row in rows:
+        flags = " ABORTED" if row["aborted"] else ""
+        table.append(
+            [
+                row["name"] or row["run_key"],
+                row["plane"],
+                row["strategy"],
+                _fmt(row["churn"]),
+                _fmt(row["final_pre_inertia"], 1),
+                _fmt(row["vs_baseline"]),
+                str(row["iterations"]),
+                str(row["detections"]),
+                (row["detectors"] or "-") + flags,
+            ]
+        )
+    return "\n".join(render_table(
+        ["deployment", "plane", "strategy", "churn", "final pre-inertia",
+         "vs base", "iters", "detections", "detectors"],
+        table,
+        fmt,
+    ))
+
+
+def report_attacks(con: sqlite3.Connection, fmt: str = "text") -> str:
+    """Detector counts per fault class — the countermeasure scoreboard."""
+    rows = analytics.detector_counts(con)
+    if not rows:
+        return "no detections ingested"
+    table = [
+        [
+            row["fault"] or "-",
+            row["detector"] or "-",
+            str(row["detections"]),
+            str(row["runs"]),
+        ]
+        for row in rows
+    ]
+    return "\n".join(render_table(
+        ["fault", "detector", "detections", "runs"], table, fmt
+    ))
+
+
+def report_bench(
+    con: sqlite3.Connection,
+    bench: str | None = None,
+    metric: str | None = None,
+    fmt: str = "text",
+) -> str:
+    """Bench trajectory over git revisions: latest value vs. previous."""
+    rows = analytics.bench_trajectory(con, bench=bench, metric=metric)
+    if not rows:
+        return "no bench points ingested — ingest the BENCH_*.json files"
+    table = [
+        [
+            row["bench"],
+            row["metric"],
+            row["git_rev"],
+            _fmt(row["value"], 4),
+            _fmt(row["prev_value"], 4),
+            _fmt(row["delta"], 4),
+            str(row["points"]),
+        ]
+        for row in rows
+    ]
+    return "\n".join(render_table(
+        ["bench", "metric", "rev", "value", "prev", "delta", "points"],
+        table,
+        fmt,
+    ))

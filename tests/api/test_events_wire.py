@@ -1,0 +1,160 @@
+"""Wire-format coverage for the run-event stream.
+
+Every member of the ``RunEvent`` union must survive
+``event_to_dict`` → NDJSON → warehouse ingestion.  The union itself is
+enumerated via ``typing.get_args`` so a future event type added without
+a wire mapping (or without a sample here) fails loudly instead of being
+silently dropped from the telemetry plane.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CheckpointSaved,
+    FaultDetected,
+    IterationCompleted,
+    RunAborted,
+    RunCompleted,
+    RunEvent,
+    RunStarted,
+    event_to_dict,
+)
+from repro.core.results import ClusteringResult, IterationStats
+from repro.service import append_ndjson, read_events
+from repro.warehouse import Ingester, connect
+
+
+def _stats(iteration: int = 1) -> IterationStats:
+    return IterationStats(
+        iteration=iteration,
+        pre_inertia=12.5,
+        post_inertia=11.0,
+        n_centroids=3,
+        epsilon_spent=0.25,
+        centroids=np.zeros((3, 4)),
+    )
+
+
+SAMPLES: dict[type, RunEvent] = {
+    RunStarted: RunStarted(
+        spec=None,
+        label="G_SMA",
+        dataset_name="cer",
+        t=100,
+        n=24,
+        population=10_000,
+        sum_sensitivity=2.0,
+        resumed_iteration=0,
+        crypto_backend="serial",
+        bigint_backend="python",
+        key_bits=256,
+    ),
+    IterationCompleted: IterationCompleted(
+        stats=_stats(),
+        epsilon_spent_total=0.25,
+        epsilon_remaining=0.75,
+        active_series=98,
+        agreement=0.5,
+        exchanges_per_node=3.0,
+    ),
+    CheckpointSaved: CheckpointSaved(
+        iteration=1, path=pathlib.Path("/tmp/ckpt/iter_001.json")
+    ),
+    FaultDetected: FaultDetected(
+        iteration=2,
+        fault="byzantine",
+        detector="decryption-cross-check",
+        participants=(4, 9),
+        detail={"bad_sums": 1},
+    ),
+    RunAborted: RunAborted(
+        iteration=2, fault="collusion", reason="key compromised",
+        epsilon_charged=0.5,
+    ),
+    RunCompleted: RunCompleted(
+        result=ClusteringResult(
+            centroids=np.zeros((3, 4)),
+            history=[_stats(1), _stats(2)],
+            converged=True,
+            strategy="G",
+        ),
+        reason="converged",
+    ),
+}
+
+EVENT_TYPES = typing.get_args(RunEvent)
+
+
+def test_samples_cover_the_whole_union():
+    """Adding a new RunEvent member forces a sample (and mapping) here."""
+    assert set(SAMPLES) == set(EVENT_TYPES)
+
+
+@pytest.mark.parametrize(
+    "event_type", EVENT_TYPES, ids=lambda t: t.__name__
+)
+def test_wire_dict_round_trips_through_ndjson(event_type, tmp_path):
+    wire = event_to_dict(SAMPLES[event_type])
+    assert isinstance(wire["type"], str) and wire["type"]
+    path = tmp_path / "events.ndjson"
+    append_ndjson(path, wire)
+    assert read_events(path) == [json.loads(json.dumps(wire))] == [wire]
+
+
+@pytest.mark.parametrize(
+    "event_type", EVENT_TYPES, ids=lambda t: t.__name__
+)
+def test_every_event_kind_lands_in_the_warehouse(event_type, tmp_path):
+    """No event kind is silently dropped by ingestion: each wire line
+    becomes exactly one row in the events table."""
+    wire = dict(event_to_dict(SAMPLES[event_type]))
+    wire.update({"job": "j1", "seq": 7, "ts": 1.5})
+    path = tmp_path / "events.ndjson"
+    append_ndjson(path, wire)
+
+    con = connect(tmp_path / "wh.db")
+    ingester = Ingester(con)
+    ingester.ingest_events_file(path, job_id="j1")
+    con.commit()
+    row = con.execute("SELECT * FROM events").fetchone()
+    assert row is not None, f"{wire['type']} dropped by ingestion"
+    assert row["event_key"] == "j1:7"
+    assert row["type"] == wire["type"]
+    assert json.loads(row["payload"]) == wire
+    con.close()
+
+
+def test_fault_detected_round_trip_preserves_evidence():
+    wire = event_to_dict(SAMPLES[FaultDetected])
+    assert wire["participants"] == [4, 9]
+    assert wire["detail"] == {"bad_sums": 1}
+    assert json.loads(json.dumps(wire)) == wire
+
+
+def test_run_aborted_carries_the_charged_budget():
+    wire = event_to_dict(SAMPLES[RunAborted])
+    assert wire == {
+        "type": "run_aborted",
+        "iteration": 2,
+        "fault": "collusion",
+        "reason": "key compromised",
+        "epsilon_charged": 0.5,
+    }
+
+
+def test_checkpoint_saved_path_is_a_plain_string():
+    wire = event_to_dict(SAMPLES[CheckpointSaved])
+    assert wire["path"] == "/tmp/ckpt/iter_001.json"
+    assert isinstance(wire["path"], str)
+
+
+def test_non_event_rejected():
+    with pytest.raises(TypeError, match="not a run event"):
+        event_to_dict(object())

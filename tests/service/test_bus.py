@@ -15,7 +15,13 @@ from repro.api import (
     event_to_dict,
 )
 from _helpers import small_spec
-from repro.service import EventBus, JobStore, append_ndjson, read_events
+from repro.service import (
+    EventBus,
+    JobStore,
+    append_ndjson,
+    next_seq,
+    read_events,
+)
 
 
 class TestEventToDict:
@@ -96,3 +102,68 @@ class TestEventBus:
         assert len(feed) == len(own) + len(
             read_events(store.events_path(job_b.job_id))
         )
+
+
+class TestSeq:
+    def test_publish_stamps_monotonic_seq(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit(small_spec(1))
+        bus = EventBus(store, job.job_id)
+        for event in Experiment.from_spec(small_spec(1)).run_iter():
+            bus.publish(event)
+        seqs = [r["seq"] for r in read_events(store.events_path(job.job_id))]
+        assert seqs == list(range(len(seqs)))
+        assert len(seqs) >= 3
+
+    def test_seq_resumes_across_bus_restarts(self, tmp_path):
+        """A worker restart (new EventBus over the same log) continues
+        the numbering instead of starting over."""
+        store = JobStore(tmp_path)
+        job = store.submit(small_spec(1))
+        first = EventBus(store, job.job_id)
+        first.publish_record({"type": "run_started", "job": job.job_id})
+        first.publish_record({"type": "iteration_completed",
+                              "iteration": 1, "job": job.job_id})
+        second = EventBus(store, job.job_id)
+        second.publish_record({"type": "iteration_completed",
+                               "iteration": 2, "job": job.job_id})
+        seqs = [r["seq"] for r in read_events(store.events_path(job.job_id))]
+        assert seqs == [0, 1, 2]
+
+    def test_next_seq_counts_complete_lines_without_seq(self, tmp_path):
+        """Pre-seq logs: numbering starts after the existing lines, so
+        offset-keyed history and seq-keyed future never collide."""
+        path = tmp_path / "events.ndjson"
+        assert next_seq(path) == 0
+        append_ndjson(path, {"type": "run_started"})
+        append_ndjson(path, {"type": "iteration_completed"})
+        assert next_seq(path) == 2
+        append_ndjson(path, {"type": "checkpoint_saved", "seq": 7})
+        assert next_seq(path) == 8
+
+    def test_next_seq_ignores_torn_tail(self, tmp_path):
+        path = tmp_path / "events.ndjson"
+        append_ndjson(path, {"seq": 4})
+        with open(path, "a") as fh:
+            fh.write('{"seq": 99')  # no newline: still being written
+        assert next_seq(path) == 5
+
+    def test_caller_supplied_seq_wins(self, tmp_path):
+        """publish_record only fills seq in when absent — readers of
+        replayed/merged logs keep whatever the writer recorded."""
+        store = JobStore(tmp_path)
+        job = store.submit(small_spec(1))
+        bus = EventBus(store, job.job_id)
+        bus.publish_record({"type": "run_started", "job": job.job_id,
+                            "seq": 10})
+        bus.publish_record({"type": "iteration_completed", "iteration": 1,
+                            "job": job.job_id})
+        seqs = [r["seq"] for r in read_events(store.events_path(job.job_id))]
+        assert seqs == [10, 11]
+
+    def test_readers_tolerate_missing_seq(self, tmp_path):
+        """Satellite guarantee: consumers never require the field."""
+        path = tmp_path / "events.ndjson"
+        append_ndjson(path, {"type": "run_started", "job": "j"})
+        records = read_events(path)
+        assert records[0].get("seq") is None

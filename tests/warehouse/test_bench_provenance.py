@@ -1,0 +1,84 @@
+"""Satellite: BENCH_*.json envelopes carry an ingestion-ready
+provenance block (git_rev + ISO timestamp + numeric epoch), so the
+warehouse can order the bench trajectory without filesystem mtimes."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.warehouse import connect, ingest_paths
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.fixture()
+def bench_conftest(tmp_path, monkeypatch):
+    """The benchmark suite's conftest module, redirected into tmp."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest_under_test", BENCHMARKS / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "_OUT_DIR", tmp_path / "out")
+    monkeypatch.setattr(module, "_REPO_ROOT", tmp_path / "root")
+    (tmp_path / "root").mkdir()
+    sys.modules.pop("bench_conftest_under_test", None)
+    return module
+
+
+def test_record_json_envelope_has_provenance(bench_conftest, tmp_path):
+    bench_conftest.record_json("probe", {"metric": 1.5})
+    mirror = tmp_path / "root" / "BENCH_probe.json"
+    assert mirror.exists()
+    envelope = json.loads(mirror.read_text())
+    assert envelope["schema"] == "chiaroscuro-bench/v1"
+    prov = envelope["provenance"]
+    assert prov["git_rev"] == envelope["git_rev"]  # legacy key kept
+    assert prov["git_rev_full"].startswith(prov["git_rev"])
+    assert len(prov["git_rev_full"]) == 40
+    assert isinstance(prov["unix_time"], float)
+    assert prov["unix_time"] > 1_700_000_000  # a real epoch, not a stub
+    # ISO-8601 Zulu, second precision — matches the ingester's parser.
+    assert prov["timestamp"] == envelope["timestamp"]
+    assert prov["timestamp"].endswith("Z")
+    assert len(prov["timestamp"]) == 20
+    # out/ and root mirrors are byte-identical.
+    assert (tmp_path / "out" / "BENCH_probe.json").read_text() == (
+        mirror.read_text()
+    )
+
+
+def test_record_runs_mirror_is_warehouse_ingestible(bench_conftest, tmp_path):
+    """What the conftest writes, the warehouse orders by provenance."""
+    bench_conftest.record_json("probe", {"metric": 2.0})
+    mirror = tmp_path / "root" / "BENCH_probe.json"
+    expected = json.loads(mirror.read_text())["provenance"]["unix_time"]
+
+    con = connect(tmp_path / "wh.db")
+    delta = ingest_paths(con, [mirror])
+    assert delta["bench_points"] == 1
+    row = con.execute(
+        "SELECT git_rev, unix_time, metric, value FROM bench_points"
+    ).fetchone()
+    assert row["git_rev"] == json.loads(mirror.read_text())["git_rev"]
+    assert row["unix_time"] == pytest.approx(expected)
+    assert row["metric"] == "metric"
+    assert row["value"] == 2.0
+    con.close()
+
+
+def test_committed_root_mirrors_already_carry_the_block():
+    """The repo's own committed BENCH files are on the new envelope or
+    at least parseable by the legacy path — none are orphaned."""
+    root = BENCHMARKS.parent
+    mirrors = sorted(root.glob("BENCH_*.json"))
+    assert mirrors, "no committed BENCH mirrors found"
+    for path in mirrors:
+        envelope = json.loads(path.read_text())
+        assert envelope.get("git_rev"), path.name
+        assert envelope.get("timestamp", "").endswith("Z"), path.name

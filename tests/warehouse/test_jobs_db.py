@@ -1,0 +1,74 @@
+"""``repro jobs --db``: fleet status straight from the warehouse."""
+
+from __future__ import annotations
+
+import json
+
+from _wh_helpers import populate_job, tiny_spec
+from repro.cli import main
+from repro.service import JobStore
+from repro.warehouse import connect, ingest_paths
+
+
+def _ingested_store(tmp_path, n=3):
+    store = JobStore(tmp_path / "svc")
+    for seed in range(n):
+        populate_job(store, tiny_spec(seed, name=f"fleet-{seed}"))
+    db = tmp_path / "wh.db"
+    con = connect(db)
+    ingest_paths(con, [store.root])
+    con.close()
+    return store, db
+
+
+class TestJobsDb:
+    def test_lists_jobs_without_touching_the_store(self, tmp_path, capsys):
+        store, db = _ingested_store(tmp_path)
+        assert main(["jobs", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        for job in store.jobs():
+            assert job.job_id in out
+        assert "completed" in out
+
+    def test_sort_order_matches_the_store_listing(self, tmp_path, capsys):
+        """Deterministic order pin: submit order (submitted_at, then
+        job_id) — identical to ``repro jobs`` against the live root."""
+        store, db = _ingested_store(tmp_path)
+        # Force a submitted_at tie so the job_id tiebreaker is exercised.
+        jobs = store.jobs()
+        for job in jobs:
+            store.update(job.job_id, submitted_at=100.0)
+        con = connect(db)
+        ingest_paths(con, [store.root])
+        con.close()
+
+        assert main(["jobs", "--db", str(db), "--json"]) == 0
+        listed = [row["job_id"] for row in json.loads(capsys.readouterr().out)]
+        assert listed == sorted(job.job_id for job in jobs)
+        # Re-running gives byte-identical output (no hash-order leaks).
+        main(["jobs", "--db", str(db), "--json"])
+        first = capsys.readouterr().out
+        main(["jobs", "--db", str(db), "--json"])
+        assert capsys.readouterr().out == first
+
+    def test_state_filter(self, tmp_path, capsys):
+        store, db = _ingested_store(tmp_path, n=1)
+        pending = store.submit(tiny_spec(9, name="queued-one"))
+        con = connect(db)
+        ingest_paths(con, [store.root])
+        con.close()
+        assert main(["jobs", "--db", str(db), "--state", "queued",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["job_id"] for row in rows] == [pending.job_id]
+        assert rows[0]["state"] == "queued"
+
+    def test_empty_warehouse_message(self, tmp_path, capsys):
+        db = tmp_path / "wh.db"
+        connect(db).close()
+        assert main(["jobs", "--db", str(db)]) == 0
+        assert "no jobs ingested" in capsys.readouterr().out
+
+    def test_missing_db_is_exit_2(self, tmp_path, capsys):
+        assert main(["jobs", "--db", str(tmp_path / "absent.db")]) == 2
+        assert "no warehouse at" in capsys.readouterr().out

@@ -1,0 +1,133 @@
+"""Acceptance: ``repro report fig3`` reproduces the committed
+BENCH_fig3_attack_quality.json comparison purely from ingested records."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.warehouse import connect, fig3_quality, ingest_paths, report_fig3
+
+BENCH = pathlib.Path(__file__).resolve().parents[2] / (
+    "BENCH_fig3_attack_quality.json"
+)
+
+pytestmark = pytest.mark.skipif(
+    not BENCH.exists(), reason="committed fig3 bench file missing"
+)
+
+
+@pytest.fixture(scope="module")
+def warehouse(tmp_path_factory):
+    con = connect(tmp_path_factory.mktemp("wh") / "wh.db")
+    ingest_paths(con, [BENCH])
+    yield con
+    con.close()
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return json.loads(BENCH.read_text())["data"]["summary"]
+
+
+class TestFig3Reproduction:
+    def test_every_deployment_row_present(self, warehouse, summary):
+        names = {row["name"] for row in fig3_quality(warehouse)}
+        assert names == {f"attack-{label}" for label in summary}
+
+    def test_final_pre_inertia_matches_committed_summary(
+        self, warehouse, summary
+    ):
+        rows = {row["name"]: row for row in fig3_quality(warehouse)}
+        for label, entry in summary.items():
+            got = rows[f"attack-{label}"]["final_pre_inertia"]
+            assert got == pytest.approx(
+                entry["final_pre_inertia"], rel=1e-9
+            ), label
+
+    def test_detection_totals_and_detectors_match(self, warehouse, summary):
+        rows = {row["name"]: row for row in fig3_quality(warehouse)}
+        for label, entry in summary.items():
+            row = rows[f"attack-{label}"]
+            assert row["detections"] == entry["detections"], label
+            got = set(row["detectors"].split(",")) if row["detectors"] else set()
+            assert got == set(entry["detectors"]), label
+
+    def test_abort_flags_match(self, warehouse, summary):
+        rows = {row["name"]: row for row in fig3_quality(warehouse)}
+        for label, entry in summary.items():
+            assert bool(rows[f"attack-{label}"]["aborted"]) == bool(
+                entry["aborted"]
+            ), label
+
+    def test_baseline_ratio_ordering(self, warehouse, summary):
+        """Quality-vs-baseline ordering from the warehouse matches the
+        committed file's own numbers."""
+        rows = {row["name"]: row for row in fig3_quality(warehouse)}
+        base = summary["baseline"]["final_pre_inertia"]
+        for label, entry in summary.items():
+            row = rows[f"attack-{label}"]
+            if row["vs_baseline"] is None:
+                # collusion rows run on a different dataset — no ratio
+                assert "collusion" in label
+                continue
+            assert row["vs_baseline"] == pytest.approx(
+                entry["final_pre_inertia"] / base, rel=1e-9
+            ), label
+
+    def test_iterations_match(self, warehouse, summary):
+        rows = {row["name"]: row for row in fig3_quality(warehouse)}
+        for label, entry in summary.items():
+            assert rows[f"attack-{label}"]["iterations"] == entry[
+                "iterations"
+            ], label
+
+
+class TestReportRendering:
+    def test_text_report_carries_the_comparison(self, warehouse):
+        text = report_fig3(warehouse)
+        assert "attack-baseline" in text
+        assert "attack-collusion-severe" in text
+        assert "1352.2" in text  # baseline final pre-inertia, rounded
+        assert "64440.7" in text  # collusion plateau
+
+    def test_markdown_report(self, warehouse):
+        text = report_fig3(warehouse, fmt="markdown")
+        assert text.splitlines()[0].startswith("| ")
+        assert "| ---" in text.splitlines()[1]
+
+    def test_empty_warehouse_is_graceful(self, tmp_path):
+        con = connect(tmp_path / "wh.db")
+        assert "no runs ingested" in report_fig3(con)
+        con.close()
+
+
+class TestCli:
+    def test_report_fig3_end_to_end(self, tmp_path, capsys):
+        db = tmp_path / "wh.db"
+        assert main(["db", "ingest", str(BENCH), "--db", str(db)]) == 0
+        capsys.readouterr()
+        assert main(["report", "fig3", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "attack-churn-storm-severe" in out
+        assert "availability-monitor" in out
+
+    def test_report_like_filter(self, tmp_path, capsys):
+        db = tmp_path / "wh.db"
+        main(["db", "ingest", str(BENCH), "--db", str(db)])
+        capsys.readouterr()
+        assert main(
+            ["report", "fig3", "--db", str(db), "--like", "attack-byz%"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attack-byzantine-mild" in out
+        assert "attack-collusion-mild" not in out
+
+    def test_report_on_missing_db_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["report", "fig3", "--db", str(tmp_path / "absent.db")]
+        ) == 2
+        assert "no warehouse at" in capsys.readouterr().out
