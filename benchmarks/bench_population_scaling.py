@@ -204,6 +204,96 @@ def test_population_scaling_speedup(benchmark):
     assert full["n_centroids"][0] >= 1
 
 
+#: Ascending populations attempted by the vectorized-crypto sweep; a
+#: point only counts when its full iteration lands under the budget.
+CRYPTO_SWEEP = (10_000, 20_000, 40_000, 100_000)
+CRYPTO_POINT_BUDGET = 45.0
+
+
+def _crypto_run_spec(population: int) -> RunSpec:
+    """A light payload (k=3, 4-point series) so the sweep probes the
+    crypto plane's population frontier, not the payload width."""
+    return RunSpec.from_dict({
+        "name": f"population-scaling-crypto-{population}",
+        "plane": "vectorized-crypto",
+        "seed": 0,
+        "strategy": "G",
+        "dataset": {"kind": "population-sim",
+                    "params": {"population": population, "series_length": 4,
+                               "seed": 3}},
+        "init": {"kind": "uniform", "params": {"seed": 3}},
+        "params": {"k": 3, "max_iterations": 1, "exchanges": 2,
+                   "epsilon": 10.0, "key_bits": 256, "theta": 0.0,
+                   "crypto_backend": "process"},
+    })
+
+
+def test_vectorized_crypto_population_sweep(benchmark):
+    """Largest population completing one every-exchange-real-crypto
+    iteration under the per-point time budget (the plane's frontier as
+    tracked across PRs)."""
+    from repro.api import IterationCompleted, RunCompleted
+    from repro.crypto import bigint
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    points = []
+    largest = 0
+    for population in CRYPTO_SWEEP:
+        spec = _crypto_run_spec(population)
+        crypto_ms = 0.0
+        result = None
+        start = time.perf_counter()
+        for event in Experiment.from_spec(spec).run_iter():
+            if isinstance(event, IterationCompleted):
+                crypto_ms += float(event.crypto_ms or 0.0)
+            elif isinstance(event, RunCompleted):
+                result = event.result
+        elapsed = time.perf_counter() - start
+        completed = result.iterations >= 1
+        under_budget = completed and elapsed <= CRYPTO_POINT_BUDGET
+        points.append({
+            "population": population,
+            "iterations_completed": int(result.iterations),
+            "seconds_total": float(elapsed),
+            "crypto_seconds": float(crypto_ms / 1000.0),
+            "under_budget": bool(under_budget),
+        })
+        if under_budget:
+            largest = population
+        if not under_budget:
+            break  # larger points cannot land under the budget either
+
+    rows = [
+        f"{'population':>12}{'total s':>10}{'crypto s':>10}{'in budget':>11}",
+        *(
+            f"{p['population']:>12}{p['seconds_total']:>10.1f}"
+            f"{p['crypto_seconds']:>10.1f}"
+            f"{'yes' if p['under_budget'] else 'no':>11}"
+            for p in points
+        ),
+        (
+            f"largest under {CRYPTO_POINT_BUDGET:.0f}s budget: {largest} "
+            f"participants ({bigint.active_backend()} kernel)"
+        ),
+    ]
+    record_report(
+        "population_scaling_crypto",
+        "Vectorized-crypto frontier: every exchange real Damgård–Jurik",
+        rows,
+    )
+    from conftest import record_json
+
+    record_json("population_scaling_crypto", {
+        "bigint_backend": bigint.active_backend(),
+        "point_budget_seconds": CRYPTO_POINT_BUDGET,
+        "points": points,
+        "largest_under_budget": largest,
+    })
+    assert largest >= 10_000, (
+        f"crypto plane frontier regressed below 10^4 ({points})"
+    )
+
+
 def test_population_smoke(benchmark):
     """CI smoke: 10⁵ nodes × a few full-protocol cycles + a one-iteration
     Chiaroscuro loop, wall-clock-guarded so regressions fail loudly."""

@@ -192,7 +192,7 @@ class QualityPlane(ExecutionPlane):
 
 
 class _ProtocolPlane(ExecutionPlane):
-    """Shared dispatch for the two ``ChiaroscuroRun`` substrates."""
+    """Shared dispatch for the ``ChiaroscuroRun`` substrates."""
 
     def _build_run(self, ctx: RunContext) -> ChiaroscuroRun:
         run = ChiaroscuroRun(
@@ -222,6 +222,7 @@ class _ProtocolPlane(ExecutionPlane):
                 converged=step.converged,
                 agreement=step.agreement,
                 exchanges_per_node=step.exchanges_per_node,
+                crypto_ms=step.crypto_ms,
                 rng_state=snapshot(),
             )
 
@@ -261,6 +262,42 @@ class VectorizedPlane(_ProtocolPlane):
     """
 
     supports_checkpoint = True
+
+    def run_iter(
+        self,
+        ctx: RunContext,
+        resume: Checkpoint | None = None,
+        cycle_hook: Callable[[int, int], None] | None = None,
+    ) -> Iterator[PlaneStep]:
+        run = self._build_run(ctx)
+        run.cycle_hook = cycle_hook
+        start = 1
+        if resume is not None:
+            run.noise_rng.bit_generator.state = resume.rng_state
+            run.initial_centroids = np.asarray(resume.centroids, dtype=float)
+            start = resume.iteration + 1
+        yield from self._iterate(
+            run, ctx, start=start, snapshot=lambda: run.noise_rng.bit_generator.state
+        )
+
+
+@register_plane("vectorized-crypto")
+class VectorizedCryptoPlane(_ProtocolPlane):
+    """Struct-of-arrays plane with *real* packed Damgård–Jurik ciphertexts.
+
+    Every gossip exchange carries genuine ciphertexts, fused into whole-
+    round bigint batches; decoded per-iteration centroids are bit-identical
+    to the mock ``vectorized`` plane at the same seed.
+
+    Checkpointable exactly like :class:`VectorizedPlane`: the keypair and
+    fixed-base table rebuild deterministically from the spec seed, the only
+    cross-iteration RNG that shapes *decoded results* is ``noise_rng``
+    (riding in the checkpoint), and the crypto stream's post-resume
+    divergence only changes randomizers, which decryption removes exactly.
+    """
+
+    supports_checkpoint = True
+    uses_real_crypto = True
 
     def run_iter(
         self,

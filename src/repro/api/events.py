@@ -64,6 +64,7 @@ class IterationCompleted:
     active_series: int | None = None  # churn counter (quality plane)
     agreement: float | None = None  # epidemic spread (protocol planes)
     exchanges_per_node: float | None = None  # gossip counter (protocol planes)
+    crypto_ms: float | None = None  # ciphertext wall time (real-crypto planes)
 
     @property
     def iteration(self) -> int:
@@ -178,6 +179,7 @@ def event_to_dict(event: RunEvent) -> dict:
             "active_series": event.active_series,
             "agreement": event.agreement,
             "exchanges_per_node": event.exchanges_per_node,
+            "crypto_ms": event.crypto_ms,
         }
     if isinstance(event, CheckpointSaved):
         return {

@@ -119,6 +119,7 @@ class PlaneStep:
     active_series: int | None = None
     agreement: float | None = None
     exchanges_per_node: float | None = None
+    crypto_ms: float | None = None  # real-ciphertext wall time (crypto planes)
     rng_state: dict | None = None  # serializable; None = not checkpointable
 
 
@@ -364,6 +365,7 @@ class Experiment:
                     active_series=step.active_series,
                     agreement=step.agreement,
                     exchanges_per_node=step.exchanges_per_node,
+                    crypto_ms=step.crypto_ms,
                 )
                 if store is not None and step.rng_state is not None:
                     path = store.save(

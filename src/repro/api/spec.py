@@ -29,7 +29,7 @@ __all__ = ["DatasetSpec", "FaultSpec", "InitSpec", "RunSpec"]
 
 #: Planes that execute through ``ChiaroscuroRun`` and therefore must agree
 #: with ``ChiaroscuroParams.protocol_plane``.
-PROTOCOL_PLANES = ("object", "vectorized")
+PROTOCOL_PLANES = ("object", "vectorized", "vectorized-crypto")
 
 #: Default initializer per built-in dataset kind (used by ``from_cli_args``).
 DEFAULT_INITIALIZERS = {

@@ -225,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     rep_attacks = report_sub.add_parser(
         "attacks", help="detector counts per fault class"
     )
+    rep_latency = report_sub.add_parser(
+        "latency", help="per-plane iteration latency percentiles "
+                        "with the crypto_ms split"
+    )
     rep_bench = report_sub.add_parser(
         "bench", help="bench metric trajectory over git revisions"
     )
@@ -233,7 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep_bench.add_argument("--metric", default=None, metavar="PATTERN",
                            help="only metrics matching this SQL LIKE "
                                 "pattern")
-    for rep in (rep_fig2, rep_fig3, rep_attacks, rep_bench):
+    for rep in (rep_fig2, rep_fig3, rep_attacks, rep_latency, rep_bench):
         rep.add_argument("--db", metavar="FILE", default="warehouse.db",
                          dest="db_path")
         rep.add_argument("--format", choices=("text", "markdown"),
@@ -595,6 +599,8 @@ def _cmd_report(args, out) -> int:
             text = warehouse.report_fig3(con, like=args.like, fmt=args.fmt)
         elif args.report_command == "attacks":
             text = warehouse.report_attacks(con, fmt=args.fmt)
+        elif args.report_command == "latency":
+            text = warehouse.report_latency(con, fmt=args.fmt)
         else:  # bench
             text = warehouse.report_bench(
                 con, bench=args.bench, metric=args.metric, fmt=args.fmt

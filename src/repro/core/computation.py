@@ -26,14 +26,16 @@ tests measure exactly that agreement.
 from __future__ import annotations
 
 import random
+import time
 
 import numpy as np
 
-from ..crypto.backend import CryptoBackend
+from ..crypto.backend import CryptoBackend, SerialBackend
 from ..crypto.damgard_jurik import homomorphic_add_batch
-from ..crypto.encoding import FixedPointCodec
-from ..crypto.threshold import ThresholdKeypair
+from ..crypto.encoding import FixedPointCodec, PackedCodec
+from ..crypto.threshold import ThresholdKeypair, combine_partial_decryptions_batch
 from ..gossip.aggregation import EpidemicSum
+from ..gossip.cipher_array import CipherEESum
 from ..gossip.decryption import EpidemicDecryption, VectorizedShareCollection
 from ..gossip.dissemination import MinIdDissemination, VectorizedMinId
 from ..gossip.eesum import EESum, VectorizedEESum
@@ -42,7 +44,12 @@ from ..gossip.vectorized_protocol import VectorizedGossipEngine
 from .batching import CiphertextPlane, ScalarPlane
 from .noise import NoisePlan
 
-__all__ = ["ComputationStep", "ComputationOutput", "VectorizedComputationStep"]
+__all__ = [
+    "ComputationStep",
+    "ComputationOutput",
+    "VectorizedComputationStep",
+    "VectorizedCryptoComputationStep",
+]
 
 
 class ComputationOutput:
@@ -355,4 +362,217 @@ class VectorizedComputationStep:
             grid = values.reshape(plan.k, stride)
             output.sums[int(node)] = grid[:, :-1]
             output.counts[int(node)] = grid[:, -1]
+        return output
+
+
+class VectorizedCryptoComputationStep:
+    """Algorithm 3 over the struct-of-arrays plane with *real* ciphertexts.
+
+    The missing quadrant: the vectorized engine's scaling with the object
+    plane's genuine Damgård–Jurik crypto.  Each node's quantized
+    means+noise payload is packed (:class:`~repro.crypto.encoding.
+    PackedCodec` striping — one ciphertext amortizes ``slots`` counter
+    values) and encrypted once; every gossip round's homomorphic work then
+    runs as whole-round batches through a :class:`~repro.gossip.
+    cipher_array.CipherEESum`; decryption is real Shoup threshold
+    decryption of a decode sample, fused across the batch
+    (:func:`~repro.crypto.threshold.combine_partial_decryptions_batch`).
+
+    **Mock parity.**  The step consumes ``noise_rng`` and the engine's RNG
+    in *exactly* the sequence :class:`VectorizedComputationStep` does, the
+    clear ω/ctr side mirrors the mock's float operations, and the decoded
+    integers divide back to the very dyadic floats the mock plane carries
+    — so decoded per-iteration results are bit-identical to a mock run of
+    the same seed (pinned by the shadow-identity tests).  The correction
+    materialization walks the same ``agreement_sample`` window as the mock
+    (RNG parity); only the first ``decode_sample`` nodes of that window
+    pay real decryption.
+
+    **Keypair.**  Decryption uses the first ``threshold`` dealer shares
+    (the committee).  Decoded plaintexts are keypair-independent, so a
+    committee-sized keypair (``n_shares`` capped far below the population
+    — ``Δ = n_shares!`` must stay small) changes nothing downstream.
+
+    Wall-clock spent inside crypto batch calls accumulates in
+    ``crypto_seconds`` for the ``crypto_ms`` telemetry split.
+    """
+
+    def __init__(
+        self,
+        keypair: ThresholdKeypair,
+        packed: PackedCodec,
+        noise_plan: NoisePlan,
+        exchanges: int,
+        threshold: int,
+        crypto_rng: random.Random,
+        noise_rng: np.random.Generator,
+        backend: CryptoBackend | None = None,
+        fractional_bits: int = 24,
+        agreement_sample: int = 64,
+        decode_sample: int = 8,
+    ) -> None:
+        if exchanges < 1:
+            raise ValueError("exchanges must be >= 1")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if packed.fractional_bits != fractional_bits:
+            raise ValueError(
+                "packed codec and step must agree on fractional_bits"
+            )
+        self.keypair = keypair
+        self.packed = packed
+        self.noise_plan = noise_plan
+        self.exchanges = exchanges
+        self.threshold = threshold
+        self.crypto_rng = crypto_rng
+        self.noise_rng = noise_rng
+        self.backend = backend or SerialBackend()
+        self.fractional_bits = fractional_bits
+        self.agreement_sample = agreement_sample
+        self.decode_sample = decode_sample
+        self.crypto_seconds = 0.0
+
+    def run(
+        self,
+        engine: VectorizedGossipEngine,
+        mean_matrix: np.ndarray,
+    ) -> ComputationOutput:
+        """Execute the computation step for the whole population at once.
+
+        Same contract as :meth:`VectorizedComputationStep.run`; the
+        ``population × k·(n+1)`` cleartext matrix is quantized, packed and
+        encrypted here (Alg. 1 l.6 / Alg. 3 l.4 in one pass).
+        """
+        plan = self.noise_plan
+        population = engine.population
+        dims = plan.dimensions
+        if mean_matrix.shape != (population, dims):
+            raise ValueError(
+                f"mean_matrix must be {(population, dims)}, got {mean_matrix.shape}"
+            )
+
+        # --- local noise-share generation (Alg. 3 l.4) -------------------
+        shares = plan.draw_shares(self.noise_rng, population)
+
+        # --- quantize + pack + encrypt -----------------------------------
+        # Operation-for-operation the mock step's staging (means and noise
+        # quantized separately, summed on the fixed-point grid), so the
+        # floats — and hence the packed integers — match a mock run bit
+        # for bit.  The counter column stays cleartext (the object plane's
+        # EpidemicSum is cleartext too); CipherEESum carries it.
+        scale = float(1 << self.fractional_bits)
+        body = np.empty((population, dims))
+        np.multiply(mean_matrix, scale, out=body)
+        np.round(body, out=body)
+        shares *= scale
+        np.round(shares, out=shares)
+        body += shares
+        body /= scale
+        del shares
+        packed = self.packed
+        width = packed.packed_length(dims) + 1  # payload stripes + tracker
+        flat_plaintexts: list[int] = []
+        for node in range(population):
+            flat_plaintexts.extend(packed.pack(body[node]))
+            flat_plaintexts.append(1)  # tracker E(1): the coefficient total
+        del body
+        started = time.perf_counter()
+        ciphertexts = self.backend.encrypt_batch(
+            self.keypair.public, flat_plaintexts, self.crypto_rng
+        )
+        self.crypto_seconds += time.perf_counter() - started
+        del flat_plaintexts
+        rows = [
+            ciphertexts[i * width : (i + 1) * width] for i in range(population)
+        ]
+        del ciphertexts
+
+        # --- background epidemic sums (Alg. 3 l.2 & l.5) -----------------
+        eesum = CipherEESum(
+            self.keypair.public, rows, backend=self.backend
+        )
+        del rows
+        cycles = 2 * self.exchanges  # per-node exchange budget, as the mock
+        engine.run_cycles(cycles, eesum)
+
+        # --- epidemic noise correction (Alg. 3 l.6) ----------------------
+        holders = eesum.omega > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ctr_estimates = np.where(holders, eesum.ctr / eesum.omega, np.nan)
+        proposal_ids = np.full(
+            population, VectorizedMinId.NO_PROPOSAL, dtype=np.int64
+        )
+        n_holders = int(holders.sum())
+        if n_holders:
+            proposal_ids[holders] = engine.rng.integers(
+                0, 1 << 62, size=n_holders, dtype=np.int64
+            )
+        dissemination = VectorizedMinId(proposal_ids)
+        engine.run_cycles(cycles, dissemination)
+
+        # --- epidemic decryption collection (Alg. 3 l.8-10) ---------------
+        collection = VectorizedShareCollection(population, self.threshold)
+        for _ in range(10 * cycles):
+            engine.run_cycle(collection)
+            if collection.all_done():
+                break
+
+        # --- real threshold decryption of the decode sample ----------------
+        output = ComputationOutput(plan.k, plan.series_length)
+        sample = np.flatnonzero(holders)[: self.agreement_sample]
+        if len(sample) == 0:
+            return output
+        decode_nodes = sample[: max(1, self.decode_sample)]
+        context = self.keypair.context
+        committee = self.keypair.shares[: context.threshold]
+        flat = [c for node in decode_nodes for c in eesum.row(node)]
+        started = time.perf_counter()
+        partials = {
+            share.index: self.backend.partial_decrypt_batch(
+                context, share, flat
+            )
+            for share in committee
+        }
+        plaintexts = combine_partial_decryptions_batch(context, partials)
+        self.crypto_seconds += time.perf_counter() - started
+
+        decoded: dict[int, np.ndarray] = {}
+        for slot, node in enumerate(decode_nodes):
+            node_plain = plaintexts[slot * width : (slot + 1) * width]
+            tracker = node_plain[-1]  # C = 2^count, exact
+            ints = packed.unpack_integers(
+                node_plain[:-1], dims, bias_multiplier=tracker
+            )
+            # V = σ·2^{count+f} exactly; int/int true division is correctly
+            # rounded, so in the dyadic regime the floats are the mock's.
+            shift = 1 << (int(eesum.count[node]) + self.fractional_bits)
+            values = np.array([v / shift for v in ints], dtype=float)
+            decoded[int(node)] = values / eesum.omega[node]
+
+        # --- decode (Alg. 3 l.10-11) ---------------------------------------
+        # The correction walk covers the full mock-sized sample so the
+        # noise_rng stream advances identically whether or not a node was
+        # actually decrypted.
+        corrections: dict[int, np.ndarray] = {}
+        stride = plan.series_length + 1
+        for node in sample:
+            final_id = int(dissemination.ids[node])
+            correction = None
+            if final_id != VectorizedMinId.NO_PROPOSAL:
+                if final_id not in corrections:
+                    proposer = int(np.flatnonzero(proposal_ids == final_id)[0])
+                    contributors = int(round(float(ctr_estimates[proposer])))
+                    corrections[final_id] = plan.correction(
+                        contributors, self.noise_rng
+                    )
+                correction = corrections[final_id]
+            values = decoded.get(int(node))
+            if values is None:
+                continue
+            if correction is not None:
+                values = values - correction
+            grid = values.reshape(plan.k, stride)
+            output.sums[int(node)] = grid[:, :-1]
+            output.counts[int(node)] = grid[:, -1]
+        self.crypto_seconds += eesum.crypto_seconds
         return output

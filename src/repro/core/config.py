@@ -58,6 +58,11 @@ class ChiaroscuroParams:
     results are validated against the object plane by shadow execution
     (``tests/gossip``); like the packing knob, RNG consumption differs per
     plane, so seeded runs are reproducible per plane.
+    ``"vectorized-crypto"`` is the struct-of-arrays engine carrying *real*
+    packed Damgård–Jurik ciphertexts, each round's homomorphic work fused
+    into bigint batches: decoded per-iteration centroids are bit-identical
+    to a ``"vectorized"`` run of the same seed, while every exchange pays
+    genuine ciphertext algebra (reported as ``crypto_ms`` telemetry).
     """
 
     # k-means
@@ -118,8 +123,11 @@ class ChiaroscuroParams:
             )
         if self.backend_workers < 0:
             raise ValueError("backend_workers must be >= 0 (0 = one per CPU)")
-        if self.protocol_plane not in ("object", "vectorized"):
-            raise ValueError("protocol_plane must be 'object' or 'vectorized'")
+        if self.protocol_plane not in ("object", "vectorized", "vectorized-crypto"):
+            raise ValueError(
+                "protocol_plane must be 'object', 'vectorized' or "
+                "'vectorized-crypto'"
+            )
 
     def tau_count(self, population: int) -> int:
         """Absolute key-share threshold τ for a given population size."""

@@ -20,7 +20,15 @@ over one of two simulation substrates, selected by
   Full Algorithm 2/EpiDis/collection semantics as whole-population array
   operations, sized for the paper's 10⁵–10⁶-participant Figs. 3–4 curves.
   Validated against the object plane by shadow-execution equivalence tests
-  at small populations (``tests/gossip``).
+  at small populations (``tests/gossip``);
+* ``"vectorized-crypto"`` — the struct-of-arrays engine carrying *real*
+  packed Damgård–Jurik ciphertexts (:class:`repro.core.computation.
+  VectorizedCryptoComputationStep` over :class:`repro.gossip.cipher_array.
+  CipherEESum`): every exchange round's homomorphic algebra runs as
+  whole-round bigint batches, shardable over the process-pool crypto
+  backend.  Decoded results are bit-identical to the mock plane at the
+  same seed; per-iteration ``crypto_ms`` telemetry splits out the
+  ciphertext cost.
 
 The run keeps one canonical trace (the smallest-id weighted node's view —
 all nodes agree up to the epidemic approximation error, which is recorded
@@ -49,7 +57,11 @@ from ..gossip.vectorized_protocol import VectorizedGossipEngine
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.budget import BudgetExhausted, BudgetStrategy
 from .batching import PackedPlane, ScalarPlane
-from .computation import ComputationStep, VectorizedComputationStep
+from .computation import (
+    ComputationStep,
+    VectorizedComputationStep,
+    VectorizedCryptoComputationStep,
+)
 from .config import ChiaroscuroParams
 from .noise import NoisePlan
 from .participant import Participant
@@ -81,6 +93,10 @@ class ProtocolStep:
     converged: bool
     agreement: float
     exchanges_per_node: float
+    #: Wall-clock milliseconds spent inside crypto batch calls this
+    #: iteration (encryption, homomorphic gossip algebra, threshold
+    #: decryption).  ``None`` on planes that carry no real ciphertexts.
+    crypto_ms: float | None = None
 
 
 class ChiaroscuroRun:
@@ -146,6 +162,66 @@ class ChiaroscuroRun:
             self.backend = None
             self.plane = None
             self.participants = []
+            if self.fault_plan is not None:
+                self.fault_plan.bind_run(self)
+            return
+        if params.protocol_plane == "vectorized-crypto":
+            # Real packed Damgård–Jurik ciphertexts over the struct-of-
+            # arrays engine.  Key material is committee-sized, not
+            # population-sized: Shoup combination carries Δ = n_shares! in
+            # its exponents, which explodes past a few dozen shares — and
+            # decoded plaintexts are keypair-independent, so a small
+            # committee dealing the key changes nothing downstream.  The
+            # epidemic share-collection protocol still runs against the
+            # population's τ for latency parity with the mock plane.
+            self.fractional_bits = 24
+            committee = min(population, 16)
+            if keypair is None:
+                with bigint.use_backend(self.bigint_backend):
+                    keypair = generate_threshold_keypair(
+                        key_bits,
+                        n_shares=committee,
+                        threshold=min(max(1, tau), committee),
+                        s=params.expansion_s,
+                        rng=self.crypto_rng,
+                    )
+            self.keypair = keypair
+            # On the pairing engine a node joins at most one (disjoint)
+            # exchange per cycle, so its counter — and with it the packed
+            # coefficient mass C = 2^count — is bounded by the cycle
+            # count: accumulation headroom is cycles + safety bits, far
+            # tighter than the object engine's chaining growth model.
+            # terms=1 / population=1 because means and noise are summed in
+            # clear on the fixed-point grid before the single packed
+            # encryption, and C already *is* the whole coefficient total.
+            cycles = 2 * params.exchanges
+            slices = []
+            for iteration in range(1, params.max_iterations + 1):
+                try:
+                    slices.append(strategy.epsilon_for(iteration))
+                except BudgetExhausted:
+                    break
+            min_epsilon = min(slices) if slices else params.epsilon
+            noise_bound = 60.0 * dataset.joint_sensitivity / min_epsilon
+            self.packed = PackedCodec.plan(
+                keypair.public,
+                fractional_bits=self.fractional_bits,
+                max_abs_value=max(abs(dataset.dmin), abs(dataset.dmax))
+                + noise_bound,
+                population=1,
+                exchanges=cycles,
+                terms=1,
+            )
+            self.codec = None
+            self.plane = None
+            self.participants = []
+            with bigint.use_backend(self.bigint_backend):
+                self.encryptor = FastEncryptor(keypair.public, self.crypto_rng)
+            self.backend = create_backend(
+                params.crypto_backend,
+                workers=params.backend_workers,
+                encryptor=self.encryptor,
+            )
             if self.fault_plan is not None:
                 self.fault_plan.bind_run(self)
             return
@@ -279,6 +355,11 @@ class ChiaroscuroRun:
         """
         if self.params.protocol_plane == "vectorized":
             yield from self._iter_vectorized(churn, start_iteration)
+        elif self.params.protocol_plane == "vectorized-crypto":
+            try:
+                yield from self._iter_vectorized_crypto(churn, start_iteration)
+            finally:
+                self.close()
         else:
             try:
                 yield from self._iter_object(churn, start_iteration)
@@ -444,6 +525,100 @@ class ChiaroscuroRun:
                 converged=converged,
                 agreement=output.agreement(),
                 exchanges_per_node=engine.mean_exchanges_per_node,
+            )
+            if converged:
+                return
+
+    def _iter_vectorized_crypto(
+        self, churn: float, start_iteration: int
+    ) -> Iterator[ProtocolStep]:
+        """Algorithm 1 over the struct-of-arrays plane with real ciphertexts.
+
+        Identical control flow to :meth:`_iter_vectorized` — same engine
+        seeds, same assignment-step matrix, same noise plan — with the
+        computation step swapped for the packed-Damgård–Jurik one.  Decoded
+        per-iteration centroids are bit-identical to a mock-plane run of
+        the same seed (the step mirrors the mock's RNG and float sequence
+        exactly); what changes is that every gossip exchange really does
+        carry ciphertexts, and ``crypto_ms`` reports what that cost.
+        """
+        params = self.params
+        dataset = self.dataset
+        accountant = self._charged_accountant(start_iteration)
+        centroids = self.initial_centroids.copy()
+        window, do_smooth = self.smoothing_plan()
+        n_nu = params.noise_share_count(dataset.t)
+        tau = params.tau_count(dataset.t)
+        stride = dataset.n + 1
+
+        for iteration in range(start_iteration, params.max_iterations + 1):
+            try:
+                epsilon_i = self.strategy.epsilon_for(iteration)
+                accountant.charge(epsilon_i)
+            except BudgetExhausted:
+                return
+
+            with bigint.use_backend(self.bigint_backend):
+                engine = VectorizedGossipEngine(
+                    dataset.t, seed=self.seed + 1000 * iteration, churn=churn
+                )
+                engine.on_cycle = self.cycle_hook
+                if self.fault_plan is not None:
+                    engine = self.fault_plan.wrap_engine(engine, iteration)
+
+                # Assignment step (Alg. 1 l.5-6) — the mock plane's exact
+                # matrix construction, reused verbatim.
+                k = len(centroids)
+                labels = assign_to_closest(dataset.values, centroids)
+                mean_matrix = np.zeros((dataset.t, k * stride))
+                rows = np.arange(dataset.t)
+                base = labels * stride
+                mean_matrix[
+                    rows[:, None], base[:, None] + np.arange(dataset.n)
+                ] = dataset.values
+                mean_matrix[rows, base + dataset.n] = 1.0
+
+                # Computation step (Algorithm 3) with genuine crypto.
+                plan = NoisePlan(
+                    k=k,
+                    series_length=dataset.n,
+                    dmin=dataset.dmin,
+                    dmax=dataset.dmax,
+                    epsilon=epsilon_i,
+                    n_nu=n_nu,
+                )
+                step = VectorizedCryptoComputationStep(
+                    keypair=self.keypair,
+                    packed=self.packed,
+                    noise_plan=plan,
+                    exchanges=params.exchanges,
+                    threshold=tau,
+                    crypto_rng=self.crypto_rng,
+                    noise_rng=self.noise_rng,
+                    backend=self.backend,
+                    fractional_bits=self.fractional_bits,
+                )
+                output = step.run(engine, mean_matrix)
+                del mean_matrix
+                if self.fault_plan is not None:
+                    output = self.fault_plan.observe_output(output, iteration)
+                if not output.sums:
+                    return
+
+                advanced = self._advance_centroids(
+                    output, centroids, iteration, epsilon_i, do_smooth, window,
+                    labels=labels,
+                )
+            if advanced is None:
+                return
+            stats, centroids, converged = advanced
+            yield ProtocolStep(
+                stats=stats,
+                centroids=centroids,
+                converged=converged,
+                agreement=output.agreement(),
+                exchanges_per_node=engine.mean_exchanges_per_node,
+                crypto_ms=step.crypto_seconds * 1000.0,
             )
             if converged:
                 return

@@ -53,6 +53,7 @@ from .shamir import lagrange_at_zero, reconstruct_at_zero, share_secret
 from .threshold import (
     ThresholdKeypair,
     combine_partial_decryptions,
+    combine_partial_decryptions_batch,
     generate_threshold_keypair,
     partial_decrypt,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "ciphertext_from_bytes",
     "ciphertext_to_bytes",
     "combine_partial_decryptions",
+    "combine_partial_decryptions_batch",
     "create_backend",
     "decrypt",
     "dlog_1_plus_n",

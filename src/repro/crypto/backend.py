@@ -85,6 +85,13 @@ def _init_worker(encryptor: FastEncryptor | None, bigint_backend: str) -> None:
     global _WORKER_ENCRYPTOR
     _WORKER_ENCRYPTOR = encryptor
     bigint.select_backend(bigint_backend)
+    if encryptor is not None:
+        # Warm the fixed-base table *after* the backend re-selection: the
+        # unpickled table has no native-row cache, and building it here —
+        # once per worker process — keeps it out of every batch. Without
+        # this, the first batch of each worker (and, before tables became
+        # backend-aware, *every* batch) paid the full table rebuild.
+        encryptor.warm()
 
 
 def _encrypt_chunk(public: PublicKey, items: list[tuple[int, int]]) -> list[int]:
@@ -96,6 +103,13 @@ def _encrypt_chunk(public: PublicKey, items: list[tuple[int, int]]) -> list[int]
 
 def _pow_chunk(exponent: int, modulus: int, chunk: list[int]) -> list[int]:
     return bigint.powmod_batch(chunk, exponent, modulus)
+
+
+def _mulmod_chunk(
+    modulus: int, chunk: tuple[list[int], list[int]]
+) -> list[int]:
+    lefts, rights = chunk
+    return bigint.mulmod_pairwise(lefts, rights, modulus)
 
 
 class CryptoBackend:
@@ -111,6 +125,21 @@ class CryptoBackend:
     def partial_decrypt_batch(
         self, context: ThresholdContext, share: KeyShare, ciphertexts: list[int]
     ) -> list[int]:
+        raise NotImplementedError
+
+    def pow_batch(
+        self, bases: list[int], exponent: int, modulus: int
+    ) -> list[int]:
+        """``[b**exponent mod modulus]`` with one shared exponent — the
+        scalar-multiplication shape of a gossip exchange round (every
+        lagging pair side scales its vector by the same ``2^d``)."""
+        raise NotImplementedError
+
+    def mulmod_batch(
+        self, lefts: list[int], rights: list[int], modulus: int
+    ) -> list[int]:
+        """Elementwise ``lefts[i]·rights[i] mod modulus`` — the
+        homomorphic-add shape of a whole exchange round."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -139,6 +168,16 @@ class SerialBackend(CryptoBackend):
     ) -> list[int]:
         exponent = _partial_decrypt_exponent(context, share)
         return bigint.powmod_batch(ciphertexts, exponent, context.public.n_s1)
+
+    def pow_batch(
+        self, bases: list[int], exponent: int, modulus: int
+    ) -> list[int]:
+        return bigint.powmod_batch(bases, exponent, modulus)
+
+    def mulmod_batch(
+        self, lefts: list[int], rights: list[int], modulus: int
+    ) -> list[int]:
+        return bigint.mulmod_pairwise(lefts, rights, modulus)
 
 
 class ProcessPoolBackend(CryptoBackend):
@@ -207,6 +246,45 @@ class ProcessPoolBackend(CryptoBackend):
         ):
             out.extend(chunk_result)
         return out
+
+    def pow_batch(
+        self, bases: list[int], exponent: int, modulus: int
+    ) -> list[int]:
+        if len(bases) < self.min_batch:
+            return self._serial.pow_batch(bases, exponent, modulus)
+        chunks = self._chunks(list(bases))
+        out: list[int] = []
+        for chunk_result in self._pool().map(
+            _pow_chunk, [exponent] * len(chunks), [modulus] * len(chunks), chunks
+        ):
+            out.extend(chunk_result)
+        return out
+
+    def mulmod_batch(
+        self, lefts: list[int], rights: list[int], modulus: int
+    ) -> list[int]:
+        # Per-element work is one multiply — far cheaper than a powmod —
+        # so sharding only pays beyond a much larger floor (pickling two
+        # ciphertexts per element is the dominant dispatch cost).
+        if len(lefts) < max(self.min_batch, 512):
+            return self._serial.mulmod_batch(lefts, rights, modulus)
+        pair_chunks = [
+            (chunk, rights[i : i + len(chunk)])
+            for chunk, i in self._chunks_with_offsets(list(lefts))
+        ]
+        out: list[int] = []
+        for chunk_result in self._pool().map(
+            _mulmod_chunk, [modulus] * len(pair_chunks), pair_chunks
+        ):
+            out.extend(chunk_result)
+        return out
+
+    def _chunks_with_offsets(self, items: list) -> list[tuple[list, int]]:
+        per_chunk = max(1, -(-len(items) // (4 * self.max_workers)))
+        return [
+            (items[i : i + per_chunk], i)
+            for i in range(0, len(items), per_chunk)
+        ]
 
     def close(self) -> None:
         if self._executor is not None:

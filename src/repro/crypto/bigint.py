@@ -45,6 +45,9 @@ shapes the protocol actually exhibits:
 * :func:`multi_powmod` — Straus (interleaved) multi-exponentiation
   ``∏ b_i^{e_i} mod m`` with one shared squaring chain, the threshold
   Lagrange-combination shape;
+* :func:`mulmod_pairwise` — elementwise products ``a_i·b_i mod m`` over
+  two equally long vectors, the homomorphic-add shape of a whole gossip
+  exchange round (every pair's ciphertext vectors merge at once);
 * :func:`mulmod_reduce` — a product chain reduced modulo ``m``; part of
   the kernel's public surface for extensions (the built-in hot paths use
   the shapes above, with the fixed-base table running its own native
@@ -69,6 +72,7 @@ __all__ = [
     "invert",
     "invert_batch",
     "multi_powmod",
+    "mulmod_pairwise",
     "mulmod_reduce",
     "powmod",
     "powmod_batch",
@@ -271,6 +275,28 @@ def invert_batch(values: Sequence[int], modulus: int) -> list[int]:
         out[i] = int(prefix[i] * acc % m)
         acc = acc * native[i] % m
     return out
+
+
+def mulmod_pairwise(
+    lefts: Sequence[int], rights: Sequence[int], modulus: int
+) -> list[int]:
+    """Elementwise ``lefts[i]·rights[i] mod modulus`` over two vectors.
+
+    The homomorphic-add shape of one vectorized gossip round: every
+    scheduled pair merges its whole ciphertext vector in a single batched
+    call.  Native conversion happens once per operand (not per operation),
+    which is where the gmpy2 backend recovers its per-element overhead.
+    """
+    if len(lefts) != len(rights):
+        raise ValueError("mulmod_pairwise needs equally long vectors")
+    backend = _ACTIVE
+    if backend is _PythonBackend:
+        return [a * b % modulus for a, b in zip(lefts, rights)]
+    m = backend.to_native(modulus)
+    return [
+        int(backend.to_native(a) * backend.to_native(b) % m)
+        for a, b in zip(lefts, rights)
+    ]
 
 
 def mulmod_reduce(values: Sequence[int], modulus: int) -> int:

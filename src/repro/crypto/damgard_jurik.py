@@ -186,6 +186,16 @@ class FastEncryptor:
         h = bigint.powmod(r0, public.n_s, public.n_s1)
         self.table = FixedBaseTable(h, public.n_s1, exponent_bits, window_bits)
 
+    def warm(self) -> "FastEncryptor":
+        """Build the table's native-row cache for the current bigint backend.
+
+        Unpickling drops the cache (it may hold backend-native ``mpz``
+        values); pool workers warm it once from their initializer so no
+        per-batch call pays the rebuild.
+        """
+        self.table.warm()
+        return self
+
     def randomizer(self, rng: random.Random) -> int:
         """A fresh randomizer ``h^t mod n^{s+1}`` (an encryption of zero)."""
         return self.table.pow(rng.getrandbits(self.exponent_bits) | 1)

@@ -63,6 +63,12 @@ class FixedBaseTable:
         "_native",
     )
 
+    #: Process-wide count of native-row (re)builds — the expensive part of
+    #: table construction.  Tests pin that this does not scale with the
+    #: number of batches a worker serves (a table is built/warmed once per
+    #: process, then reused for every round).
+    native_builds: int = 0
+
     def __init__(
         self,
         base: int,
@@ -101,6 +107,7 @@ class FixedBaseTable:
             b = row[-1] * b % mod_native
         self._rows = rows
         self._native = (bigint.active_backend(), native_rows, mod_native)
+        FixedBaseTable.native_builds += 1
 
     def _native_rows(self) -> tuple[list[list], object]:
         """The rows/modulus on the *current* backend's native type.
@@ -115,7 +122,18 @@ class FixedBaseTable:
                 [[bigint.to_native(v) for v in row] for row in self._rows],
                 bigint.to_native(self.modulus),
             )
+            FixedBaseTable.native_builds += 1
         return self._native[1], self._native[2]
+
+    def warm(self) -> "FixedBaseTable":
+        """Materialize the native-row cache for the *current* backend now.
+
+        Pool workers call this from their initializer (after re-selecting
+        the parent's bigint backend), hoisting the rebuild that unpickling
+        otherwise defers into the first batch of every fresh worker.
+        """
+        self._native_rows()
+        return self
 
     def __getstate__(self) -> dict:
         # The native cache may hold backend-specific types (mpz) and is

@@ -32,6 +32,7 @@ __all__ = [
     "generate_threshold_keypair",
     "partial_decrypt",
     "combine_partial_decryptions",
+    "combine_partial_decryptions_batch",
 ]
 
 
@@ -122,3 +123,55 @@ def combine_partial_decryptions(
     # combined == (1+n)^{4Δ²·a}; strip the 4Δ² factor in the exponent group.
     raw = dlog_1_plus_n(public, combined)
     return raw * modinv(4 * context.delta**2, public.n_s) % public.n_s
+
+
+def combine_partial_decryptions_batch(
+    context: ThresholdContext, partials: dict[int, list[int]]
+) -> list[int]:
+    """Combine the partial decryptions of a whole ciphertext batch at once.
+
+    ``partials`` maps share index → the list of that share's partial
+    decryptions, elementwise-aligned across shares (``partials[i][j]`` is
+    share ``i`` applied to ciphertext ``j``).  The fusion over the batch:
+    Lagrange coefficients are computed **once**; every base whose
+    coefficient is negative is inverted across the *entire* batch with a
+    single Montgomery batch inversion (:func:`repro.crypto.bigint.
+    invert_batch` — one modular inversion total instead of one per
+    element); each element then pays exactly one Straus
+    :func:`~repro.crypto.bigint.multi_powmod` with non-negative exponents.
+    Bit-identical to mapping :func:`combine_partial_decryptions` over the
+    batch (pinned by tests), just without the per-element inversions.
+    """
+    if len(partials) < context.threshold:
+        raise ValueError(
+            f"need {context.threshold} distinct partial decryptions, "
+            f"got {len(partials)}"
+        )
+    indices = sorted(partials)[: context.threshold]
+    lengths = {len(partials[index]) for index in indices}
+    if len(lengths) != 1:
+        raise ValueError("partial-decryption batches must be equally long")
+    (count,) = lengths
+    if count == 0:
+        return []
+    coefficients = lagrange_at_zero(indices, context.delta)
+    exponents = [2 * coefficients[index] for index in indices]
+    public = context.public
+    n_s1 = public.n_s1
+    columns = [list(partials[index]) for index in indices]
+    negative_rows = [row for row, e in enumerate(exponents) if e < 0]
+    if negative_rows:
+        flat = [c for row in negative_rows for c in columns[row]]
+        inverted = bigint.invert_batch(flat, n_s1)
+        for slot, row in enumerate(negative_rows):
+            columns[row] = inverted[slot * count : (slot + 1) * count]
+        exponents = [abs(e) for e in exponents]
+    inv_const = modinv(4 * context.delta**2, public.n_s)
+    out: list[int] = []
+    for j in range(count):
+        combined = bigint.multi_powmod(
+            [column[j] for column in columns], exponents, n_s1
+        )
+        raw = dlog_1_plus_n(public, combined)
+        out.append(raw * inv_const % public.n_s)
+    return out

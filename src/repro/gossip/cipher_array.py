@@ -1,0 +1,215 @@
+"""CipherArray — genuine Damgård–Jurik ciphertexts in struct-of-arrays form.
+
+The vectorized plane (PR 2) reaches 10⁵–10⁶ participants by replacing the
+object engine's per-node Python objects with whole-population arrays — but
+it carries *mock*-homomorphic integers.  This module closes that gap: the
+same struct-of-arrays exchange discipline, over real packed Damgård–Jurik
+ciphertexts, with every round's homomorphic work routed through the batch
+bigint primitives (:func:`repro.crypto.bigint.powmod_batch` /
+:func:`~repro.crypto.bigint.mulmod_pairwise`) and shardable across the
+process-pool crypto backend.
+
+Two layers:
+
+* :class:`CipherArray` — the batch container: one equal-width ciphertext
+  vector per node, plus the two whole-round operations Algorithm 2 needs
+  (scale lagging rows by a shared ``2^d``; merge all scheduled pairs
+  elementwise).  Per-round cost is **one** ``pow_batch`` call per distinct
+  counter gap (a handful of small values) plus **one** ``mulmod_batch``
+  over every ciphertext of every pair — no per-ciphertext Python-level
+  modexp loop.
+* :class:`CipherEESum` — Algorithm 2 over a CipherArray, drop-in for the
+  vectorized engine's protocol slot (it implements ``exchange_pairs``).
+  The weight ω and the epidemic counter column stay cleartext (exactly as
+  the object plane keeps ``EESumState.omega`` and its cleartext
+  ``EpidemicSum`` counter) and are updated with the *mock* plane's exact
+  normalized float operations, so a crypto run's clear side is
+  bit-identical to a mock run on the same pairing schedule — while the
+  ciphertext side is bit-identical to an object-plane :class:`~.EESum`
+  run with real :class:`~.HomomorphicOps` on that schedule (same ops, same
+  order, same integers).
+
+Crypto wall-time is accumulated in ``CipherArray.crypto_seconds`` so the
+computation step can report a per-iteration ``crypto_ms`` split.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+import numpy as np
+
+from ..crypto.backend import CryptoBackend, SerialBackend
+from ..crypto.keys import PublicKey
+
+__all__ = ["CipherArray", "CipherEESum"]
+
+
+class CipherArray:
+    """Equal-width Damgård–Jurik ciphertext vectors for a whole population.
+
+    ``rows[i]`` is node ``i``'s packed ciphertext vector (plain ints mod
+    ``n^{s+1}``).  All homomorphic arithmetic goes through ``backend`` so a
+    process pool shards rounds transparently; results are independent of
+    worker count and bigint backend (the operations are deterministic
+    integer arithmetic — no randomness is consumed here).
+    """
+
+    def __init__(
+        self,
+        public: PublicKey,
+        rows: list[list[int]],
+        backend: CryptoBackend | None = None,
+    ) -> None:
+        if not rows:
+            raise ValueError("CipherArray needs at least one row")
+        width = len(rows[0])
+        if any(len(row) != width for row in rows):
+            raise ValueError("CipherArray rows must have equal width")
+        self.public = public
+        self.rows = [list(row) for row in rows]
+        self.width = width
+        self.backend = backend or SerialBackend()
+        #: Accumulated wall-clock seconds spent inside backend batch calls.
+        self.crypto_seconds = 0.0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def row(self, node: int) -> list[int]:
+        """Node ``node``'s ciphertext vector (a copy — rows are immutable
+        from the caller's perspective)."""
+        return list(self.rows[int(node)])
+
+    # ------------------------------------------------------ round batches
+
+    def scale_rows(self, nodes: np.ndarray, log2_factors: np.ndarray) -> None:
+        """Homomorphic scalar-multiply each row by its ``2^d`` (Alg. 2 l.1-5).
+
+        Rows are grouped by distinct ``d`` so each group is one shared-
+        exponent ``pow_batch`` — within a gossip round the counter gaps
+        take only a handful of small values, so the whole alignment step
+        is a few batched calls regardless of population.
+        """
+        nodes = np.asarray(nodes)
+        log2_factors = np.asarray(log2_factors)
+        if len(nodes) == 0:
+            return
+        n_s1 = self.public.n_s1
+        started = time.perf_counter()
+        for gap in np.unique(log2_factors):
+            group = nodes[log2_factors == gap]
+            flat = [c for node in group for c in self.rows[node]]
+            powed = self.backend.pow_batch(flat, 1 << int(gap), n_s1)
+            for slot, node in enumerate(group):
+                start = slot * self.width
+                self.rows[node] = powed[start : start + self.width]
+        self.crypto_seconds += time.perf_counter() - started
+
+    def merge_pairs(self, left: np.ndarray, right: np.ndarray) -> None:
+        """Homomorphic-add every scheduled pair's vectors in one batch.
+
+        Both sides of each pair end up holding the merged vector, exactly
+        as the object protocol assigns ``side.ciphertexts = list(merged)``
+        to initiator and contact alike.
+        """
+        left = np.asarray(left)
+        right = np.asarray(right)
+        if len(left) == 0:
+            return
+        n_s1 = self.public.n_s1
+        started = time.perf_counter()
+        flat_left = [c for node in left for c in self.rows[node]]
+        flat_right = [c for node in right for c in self.rows[node]]
+        merged = self.backend.mulmod_batch(flat_left, flat_right, n_s1)
+        for slot, (l, r) in enumerate(zip(left, right)):
+            start = slot * self.width
+            row = merged[start : start + self.width]
+            self.rows[l] = row
+            self.rows[r] = list(row)
+        self.crypto_seconds += time.perf_counter() - started
+
+
+class CipherEESum:
+    """Algorithm 2 over a :class:`CipherArray` (vectorized-engine protocol).
+
+    State per node: the ciphertext vector (in the array), the cleartext
+    weight ω and epidemic counter — both kept *normalized* (divisions
+    applied) exactly like :class:`~.VectorizedEESum` keeps them — and the
+    shared exchange counter ``count`` governing the delayed-division scale
+    of the ciphertexts (``E(σ·2^{count}·2^{fractional_bits})``).
+    """
+
+    def __init__(
+        self,
+        public: PublicKey,
+        rows: list[list[int]],
+        weight_holder: int = 0,
+        backend: CryptoBackend | None = None,
+    ) -> None:
+        self.array = CipherArray(public, rows, backend)
+        self.population = len(rows)
+        if self.population < 2:
+            raise ValueError("CipherEESum needs a population >= 2")
+        self.omega = np.zeros(self.population)
+        self.omega[weight_holder] = 1.0
+        self.ctr = np.ones(self.population)
+        self.count = np.zeros(self.population, dtype=np.int64)
+
+    @property
+    def crypto_seconds(self) -> float:
+        return self.array.crypto_seconds
+
+    def exchange_pairs(self, left: np.ndarray, right: np.ndarray) -> None:
+        """One batch of disjoint pairwise exchanges (Alg. 2 l.1-7).
+
+        Ciphertext side: scale the lagging side of every uneven pair by
+        its ``2^{|n_r − n_l|}`` (grouped shared-exponent batch), then merge
+        all pairs elementwise (one batch).  Clear side: the mock plane's
+        normalized update, operation for operation, so ω/ctr floats remain
+        bit-identical to a :class:`~.VectorizedEESum` run on the same
+        schedule.
+        """
+        left = np.asarray(left)
+        right = np.asarray(right)
+        count_left = self.count[left]
+        count_right = self.count[right]
+        gaps = count_left - count_right
+        lagging = np.where(gaps < 0, left, right)
+        log2_factors = np.abs(gaps)
+        uneven = log2_factors > 0
+        if np.any(uneven):
+            self.array.scale_rows(lagging[uneven], log2_factors[uneven])
+        self.array.merge_pairs(left, right)
+        omega = (self.omega[left] + self.omega[right]) * 0.5
+        self.omega[left] = omega
+        self.omega[right] = omega
+        ctr = self.ctr[left]
+        ctr += self.ctr[right]
+        ctr *= 0.5
+        self.ctr[left] = ctr
+        self.ctr[right] = ctr
+        count = np.maximum(count_left, count_right) + 1
+        self.count[left] = count
+        self.count[right] = count
+
+    # -------------------------------------------------- shadow comparison
+
+    def row(self, node: int) -> list[int]:
+        """Node ``node``'s current ciphertext vector."""
+        return self.array.row(node)
+
+    def scaled_omega(self, node: int) -> int:
+        """The object-plane integer ``ω·2^{count}`` this node denotes.
+
+        Exact materialization via ``Fraction`` — raises if the normalized
+        float has left the dyadic grid (mantissa exhausted), mirroring
+        :meth:`~.VectorizedEESum.scaled_state`.
+        """
+        exact = Fraction(float(self.omega[node])) * (
+            1 << int(self.count[node])
+        )
+        if exact.denominator != 1:
+            raise ValueError("omega is no longer dyadic — mantissa exhausted")
+        return int(exact)

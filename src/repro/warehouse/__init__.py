@@ -45,6 +45,7 @@ from .report import (
     report_bench,
     report_fig2,
     report_fig3,
+    report_latency,
 )
 from .schema import MIGRATIONS, connect, connect_readonly, schema_version
 
@@ -67,6 +68,7 @@ __all__ = [
     "report_bench",
     "report_fig2",
     "report_fig3",
+    "report_latency",
     "run_query",
     "schema_version",
     "stats",

@@ -177,12 +177,19 @@ def latency_percentiles(con: sqlite3.Connection) -> list[dict]:
     Latency is the gap between consecutive ``iteration_completed``
     timestamps of one job (``LAG() OVER`` in ``v_iteration_latency``);
     percentiles are read off the ``CUME_DIST() OVER`` distribution.
+
+    Planes reporting the ``crypto_ms`` split (real-ciphertext planes)
+    additionally get ``crypto_p50``/``crypto_mean`` seconds and
+    ``crypto_share`` — the fraction of mean iteration latency spent
+    inside crypto batch calls, i.e. what separates protocol time from
+    bigint time.  Planes without the field report ``None`` there.
     """
     distribution = _rows(
         con.execute(
             """
             SELECT plane,
                    seconds,
+                   crypto_ms / 1000.0 AS crypto_seconds,
                    CUME_DIST() OVER (
                        PARTITION BY plane ORDER BY seconds
                    ) AS cume
@@ -204,6 +211,20 @@ def latency_percentiles(con: sqlite3.Connection) -> list[dict]:
                 rows[-1]["seconds"],
             )
         entry["max"] = rows[-1]["seconds"]
+        crypto = sorted(
+            r["crypto_seconds"] for r in rows if r["crypto_seconds"] is not None
+        )
+        if crypto:
+            mean_seconds = sum(r["seconds"] for r in rows) / len(rows)
+            entry["crypto_p50"] = crypto[len(crypto) // 2]
+            entry["crypto_mean"] = sum(crypto) / len(crypto)
+            entry["crypto_share"] = (
+                entry["crypto_mean"] / mean_seconds if mean_seconds > 0 else None
+            )
+        else:
+            entry["crypto_p50"] = None
+            entry["crypto_mean"] = None
+            entry["crypto_share"] = None
         out.append(entry)
     return out
 

@@ -19,6 +19,7 @@ __all__ = [
     "report_bench",
     "report_fig2",
     "report_fig3",
+    "report_latency",
 ]
 
 
@@ -114,6 +115,37 @@ def report_fig3(
     return "\n".join(render_table(
         ["deployment", "plane", "strategy", "churn", "final pre-inertia",
          "vs base", "iters", "detections", "detectors"],
+        table,
+        fmt,
+    ))
+
+
+def report_latency(con: sqlite3.Connection, fmt: str = "text") -> str:
+    """Per-plane iteration-latency percentiles with the crypto split.
+
+    The ``crypto-share`` column separates protocol time from bigint
+    time on planes that report ``crypto_ms`` (the real-ciphertext
+    planes); planes without the field show ``-``.
+    """
+    rows = analytics.latency_percentiles(con)
+    if not rows:
+        return "no iteration events ingested — run `repro db ingest` first"
+    table = [
+        [
+            row["plane"],
+            str(row["iterations"]),
+            _fmt(row["p50"], 3),
+            _fmt(row["p90"], 3),
+            _fmt(row["p99"], 3),
+            _fmt(row["max"], 3),
+            _fmt(row["crypto_mean"], 3),
+            _fmt(row["crypto_share"]),
+        ]
+        for row in rows
+    ]
+    return "\n".join(render_table(
+        ["plane", "iters", "p50", "p90", "p99", "max",
+         "crypto-mean", "crypto-share"],
         table,
         fmt,
     ))

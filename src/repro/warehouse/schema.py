@@ -36,7 +36,10 @@ Views (migration 2) — the window-function analytics surface
 ``v_epsilon_spend``         cumulative ε per iteration per run.
 ``v_iteration_latency``     wall seconds between consecutive
                             ``iteration_completed`` events (``LAG() OVER``
-                            per job), joined to the run's plane.
+                            per job), joined to the run's plane; since
+                            migration 3 it also extracts the event's
+                            ``crypto_ms`` field so the protocol/bigint
+                            time split is queryable per iteration.
 ``v_detector_counts``       detections per fault class per detector.
 ``v_bench_trajectory``      each bench metric over git revisions with its
                             previous value (``LAG() OVER``) for deltas.
@@ -222,9 +225,29 @@ SELECT
 FROM bench_points;
 """
 
+_MIGRATION_3 = """
+DROP VIEW v_iteration_latency;
+CREATE VIEW v_iteration_latency AS
+SELECT
+    e.job_id,
+    COALESCE(r.plane, '') AS plane,
+    e.iteration,
+    e.ts,
+    e.ts - LAG(e.ts) OVER (
+        PARTITION BY e.job_id ORDER BY e.ts, COALESCE(e.seq, 0)
+    ) AS seconds,
+    json_extract(e.payload, '$.crypto_ms') AS crypto_ms
+FROM events e
+LEFT JOIN runs r ON r.job_id = e.job_id
+WHERE e.type = 'iteration_completed';
+"""
+
 #: Ordered migration scripts; ``PRAGMA user_version`` counts how many of
 #: these the database has applied.  Append-only — never edit a shipped one.
-MIGRATIONS: tuple[str, ...] = (_MIGRATION_1, _MIGRATION_2)
+#: Migration 3 rebuilds ``v_iteration_latency`` with the per-iteration
+#: ``crypto_ms`` split the real-crypto planes report (NULL for events
+#: written before the field existed, and for planes without real crypto).
+MIGRATIONS: tuple[str, ...] = (_MIGRATION_1, _MIGRATION_2, _MIGRATION_3)
 
 
 def schema_version(con: sqlite3.Connection) -> int:

@@ -63,6 +63,7 @@ SAMPLES: dict[type, RunEvent] = {
         active_series=98,
         agreement=0.5,
         exchanges_per_node=3.0,
+        crypto_ms=118.25,
     ),
     CheckpointSaved: CheckpointSaved(
         iteration=1, path=pathlib.Path("/tmp/ckpt/iter_001.json")
@@ -153,6 +154,19 @@ def test_checkpoint_saved_path_is_a_plain_string():
     wire = event_to_dict(SAMPLES[CheckpointSaved])
     assert wire["path"] == "/tmp/ckpt/iter_001.json"
     assert isinstance(wire["path"], str)
+
+
+def test_iteration_completed_carries_crypto_ms():
+    wire = event_to_dict(SAMPLES[IterationCompleted])
+    assert wire["crypto_ms"] == 118.25
+    # Planes without real ciphertexts leave the field unset → None on the
+    # wire, so latency consumers can tell "no crypto" from "0 ms".
+    bare = event_to_dict(
+        IterationCompleted(
+            stats=_stats(), epsilon_spent_total=0.25, epsilon_remaining=0.75
+        )
+    )
+    assert bare["crypto_ms"] is None
 
 
 def test_non_event_rejected():

@@ -22,7 +22,12 @@ from repro.privacy import Greedy, GreedyFloor, UniformFast
 class TestRegistry:
     def test_builtin_keys_registered(self):
         assert DATASETS.keys() == ["cer", "numed", "points2d", "timeseries"]
-        assert set(PLANES.keys()) == {"quality", "object", "vectorized"}
+        assert set(PLANES.keys()) == {
+            "quality",
+            "object",
+            "vectorized",
+            "vectorized-crypto",
+        }
         assert set(STRATEGIES.keys()) == {"G", "GF", "UF"}
         assert {"courbogen", "sample", "matrix"} <= set(INITIALIZERS.keys())
 

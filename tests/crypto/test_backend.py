@@ -6,6 +6,7 @@ scheduling must not leak into results (randomness is derived per item
 before dispatch).
 """
 
+import pickle
 import random
 
 import pytest
@@ -13,6 +14,7 @@ import pytest
 from repro.core import ChiaroscuroParams
 from repro.crypto import (
     FastEncryptor,
+    FixedBaseTable,
     ProcessPoolBackend,
     SerialBackend,
     create_backend,
@@ -119,6 +121,72 @@ class TestProcessPoolBackend:
         )
         pool.close()
         assert first == second
+
+
+def _worker_native_builds() -> int:
+    """Executed *inside* a pool worker: its process-local build counter."""
+    return FixedBaseTable.native_builds
+
+
+class TestWarmup:
+    """Fixed-base table construction is once-per-process, not per-round.
+
+    ``FixedBaseTable.native_builds`` counts the expensive native-row
+    (re)builds process-wide; a long run must pay it once per worker (via
+    the pool initializer's ``warm()``), never per encryption batch.
+    """
+
+    def test_serial_rounds_never_rebuild(self, threshold_keypair):
+        encryptor = FastEncryptor(
+            threshold_keypair.public, random.Random(17), exponent_bits=128
+        ).warm()
+        backend = SerialBackend(encryptor)
+        before = FixedBaseTable.native_builds
+        for round_no in range(6):
+            backend.encrypt_batch(
+                threshold_keypair.public, [1, 2, 3], random.Random(round_no)
+            )
+        assert FixedBaseTable.native_builds == before
+
+    def test_unpickled_encryptor_warms_exactly_once(self, threshold_keypair):
+        """The worker lifecycle, in-process: unpickling drops the native
+        cache, ``warm()`` rebuilds it once, batches after that are free."""
+        encryptor = FastEncryptor(
+            threshold_keypair.public, random.Random(19), exponent_bits=128
+        )
+        shipped = pickle.loads(pickle.dumps(encryptor))
+        before = FixedBaseTable.native_builds
+        shipped.warm()
+        assert FixedBaseTable.native_builds == before + 1
+        backend = SerialBackend(shipped)
+        for round_no in range(4):
+            backend.encrypt_batch(
+                threshold_keypair.public, [4, 5, 6], random.Random(round_no)
+            )
+        assert FixedBaseTable.native_builds == before + 1
+
+    def test_pool_worker_builds_do_not_scale_with_rounds(
+        self, threshold_keypair, plaintexts
+    ):
+        """Real pool leg: after N encrypt rounds the single worker's
+        build counter equals what it was after round one."""
+        encryptor = FastEncryptor(
+            threshold_keypair.public, random.Random(23), exponent_bits=128
+        )
+        pool = ProcessPoolBackend(max_workers=1, encryptor=encryptor, min_batch=1)
+        try:
+            pool.encrypt_batch(
+                threshold_keypair.public, plaintexts, random.Random(0)
+            )
+            builds_after_first = pool._pool().submit(_worker_native_builds).result()
+            for round_no in range(1, 5):
+                pool.encrypt_batch(
+                    threshold_keypair.public, plaintexts, random.Random(round_no)
+                )
+            builds_after_many = pool._pool().submit(_worker_native_builds).result()
+        finally:
+            pool.close()
+        assert builds_after_many == builds_after_first
 
 
 class TestSelection:

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.crypto import (
     combine_partial_decryptions,
+    combine_partial_decryptions_batch,
     decrypt,
     encrypt,
     generate_threshold_keypair,
@@ -91,6 +92,59 @@ class TestThresholdDecryption:
         picked = rng.sample(tk.shares, tk.context.threshold)
         partials = {s.index: partial_decrypt(tk.context, s, c) for s in picked}
         assert combine_partial_decryptions(tk.context, partials) == value
+
+
+class TestBatchCombination:
+    """The fused batch combiner used by the vectorized-crypto plane."""
+
+    def _column_partials(self, tk, ciphertexts, shares):
+        return {
+            s.index: [partial_decrypt(tk.context, s, c) for c in ciphertexts]
+            for s in shares
+        }
+
+    def test_batch_matches_scalar_map(self, threshold_keypair, crypto_rng):
+        """Bit-identical to mapping the scalar combiner over the batch —
+        the Montgomery batch inversion is an optimization, not a change."""
+        tk = threshold_keypair
+        values = [0, 1, 31337, 2**40 + 5, tk.public.n_s - 1]
+        cts = [encrypt(tk.public, v, rng=crypto_rng) for v in values]
+        partials = self._column_partials(tk, cts, tk.shares[:3])
+        batch = combine_partial_decryptions_batch(tk.context, partials)
+        assert batch == values
+        scalar = [
+            combine_partial_decryptions(
+                tk.context, {i: column[j] for i, column in partials.items()}
+            )
+            for j in range(len(cts))
+        ]
+        assert batch == scalar
+
+    def test_extra_shares_ignored(self, threshold_keypair, crypto_rng):
+        tk = threshold_keypair
+        cts = [encrypt(tk.public, v, rng=crypto_rng) for v in (7, 8)]
+        partials = self._column_partials(tk, cts, tk.shares[:5])
+        assert combine_partial_decryptions_batch(tk.context, partials) == [7, 8]
+
+    def test_below_threshold_raises(self, threshold_keypair, crypto_rng):
+        tk = threshold_keypair
+        cts = [encrypt(tk.public, 9, rng=crypto_rng)]
+        partials = self._column_partials(tk, cts, tk.shares[:2])
+        with pytest.raises(ValueError, match="distinct partial"):
+            combine_partial_decryptions_batch(tk.context, partials)
+
+    def test_misaligned_columns_raise(self, threshold_keypair, crypto_rng):
+        tk = threshold_keypair
+        cts = [encrypt(tk.public, v, rng=crypto_rng) for v in (1, 2)]
+        partials = self._column_partials(tk, cts, tk.shares[:3])
+        partials[tk.shares[0].index].pop()
+        with pytest.raises(ValueError, match="equally long"):
+            combine_partial_decryptions_batch(tk.context, partials)
+
+    def test_empty_batch(self, threshold_keypair):
+        tk = threshold_keypair
+        partials = {s.index: [] for s in tk.shares[:3]}
+        assert combine_partial_decryptions_batch(tk.context, partials) == []
 
 
 class TestKeyDealing:

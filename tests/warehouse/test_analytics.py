@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cli import main
 from repro.warehouse import (
     bench_trajectory,
     connect,
@@ -12,6 +13,7 @@ from repro.warehouse import (
     fig2_trajectories,
     fig3_quality,
     latency_percentiles,
+    report_latency,
     run_query,
     stats,
 )
@@ -125,6 +127,69 @@ class TestLatencyAndDetectors:
         assert row["iterations"] == 10  # 11 events, 10 gaps
         assert row["p50"] == pytest.approx(1.0)
         assert row["p99"] == pytest.approx(1.0)
+
+    def test_crypto_split_from_event_payloads(self, con):
+        """Events carrying ``crypto_ms`` yield the protocol/bigint split;
+        planes without the field report None (not 0)."""
+        add_run(con, "job:c", job_id="c", plane="vectorized-crypto")
+        add_run(con, "job:m", job_id="m", plane="vectorized")
+        con.executemany(
+            "INSERT INTO events (event_key, job_id, seq, ts, type, payload) "
+            "VALUES (?, ?, ?, ?, 'iteration_completed', ?)",
+            [(f"c:{i}", "c", i, 2.0 * i, '{"crypto_ms": 1500.0}')
+             for i in range(5)]
+            + [(f"m:{i}", "m", i, 1.0 * i, "{}") for i in range(5)],
+        )
+        con.commit()
+        rows = {row["plane"]: row for row in latency_percentiles(con)}
+        crypto = rows["vectorized-crypto"]
+        # 2-second gaps, 1.5 s of which is crypto → 75 % crypto share.
+        assert crypto["crypto_mean"] == pytest.approx(1.5)
+        assert crypto["crypto_p50"] == pytest.approx(1.5)
+        assert crypto["crypto_share"] == pytest.approx(0.75)
+        mock = rows["vectorized"]
+        assert mock["crypto_mean"] is None
+        assert mock["crypto_share"] is None
+
+    def test_report_latency_renders_crypto_split(self, con, tmp_path, capsys):
+        add_run(con, "job:c", job_id="c", plane="vectorized-crypto")
+        add_run(con, "job:m", job_id="m", plane="vectorized")
+        con.executemany(
+            "INSERT INTO events (event_key, job_id, seq, ts, type, payload) "
+            "VALUES (?, ?, ?, ?, 'iteration_completed', ?)",
+            [(f"c:{i}", "c", i, 2.0 * i, '{"crypto_ms": 1500.0}')
+             for i in range(5)]
+            + [(f"m:{i}", "m", i, 1.0 * i, "{}") for i in range(5)],
+        )
+        con.commit()
+        text = report_latency(con)
+        crypto_line = next(
+            line for line in text.splitlines()
+            if line.startswith("vectorized-crypto")
+        )
+        assert "0.75" in crypto_line  # 1.5 s of every 2 s gap is crypto
+        mock_line = next(
+            line for line in text.splitlines()
+            if line.startswith("vectorized ")
+        )
+        assert mock_line.rstrip().endswith("-")  # no crypto_ms → no share
+        markdown = report_latency(con, fmt="markdown")
+        assert markdown.splitlines()[0].startswith("| plane ")
+        # the same table through `repro report latency`
+        db = tmp_path / "cli.db"
+        with connect(db) as disk:
+            disk.executescript(
+                "\n".join(
+                    line for line in con.iterdump()
+                    if line.startswith("INSERT")
+                )
+            )
+        capsys.readouterr()
+        assert main(["report", "latency", "--db", str(db)]) == 0
+        assert "crypto-share" in capsys.readouterr().out
+
+    def test_report_latency_empty_is_graceful(self, con):
+        assert "no iteration events" in report_latency(con)
 
     def test_detector_counts_view(self, con):
         con.execute(

@@ -56,6 +56,32 @@ class TestMigrations:
         con.execute("SELECT * FROM v_detector_counts").fetchall()
         con.close()
 
+    def test_migration_3_adds_crypto_ms_to_latency_view(self, tmp_path):
+        """A migration-2 warehouse gains the crypto_ms view column in
+        place; pre-existing events (no crypto_ms field) read back NULL."""
+        path = tmp_path / "wh.db"
+        old = sqlite3.connect(path)
+        old.executescript(MIGRATIONS[0])
+        old.executescript(MIGRATIONS[1])
+        old.execute("PRAGMA user_version = 2")
+        old.executemany(
+            "INSERT INTO events (event_key, job_id, seq, ts, type, payload)"
+            " VALUES (?, 'j', ?, ?, 'iteration_completed', ?)",
+            [("j:1", 1, 1.0, "{}"),
+             ("j:2", 2, 3.5, '{"crypto_ms": 2000.0}')],
+        )
+        old.commit()
+        old.close()
+
+        con = connect(path)
+        assert schema_version(con) == len(MIGRATIONS)
+        rows = con.execute(
+            "SELECT seconds, crypto_ms FROM v_iteration_latency "
+            "ORDER BY ts"
+        ).fetchall()
+        assert [tuple(row) for row in rows] == [(None, None), (2.5, 2000.0)]
+        con.close()
+
     def test_future_version_refused(self, tmp_path):
         path = tmp_path / "wh.db"
         future = sqlite3.connect(path)
