@@ -1,0 +1,83 @@
+"""The committed baseline: known findings that don't fail the build.
+
+The baseline is the ratchet of the invariant analyzer: adopting a new
+rule on a grown tree may surface violations that can't all be fixed in
+one PR, so ``repro lint --write-baseline`` snapshots them and subsequent
+runs report only *new* findings.  The file is committed
+(``lint-baseline.json`` at the repo root), reviewed like code, and the
+goal of every entry is to disappear — this repo's baseline is empty for
+the determinism and bigint-purity rules by policy (see
+docs/ARCHITECTURE.md).
+
+Entries are matched by the content-based fingerprint
+(:mod:`~repro.analysis.lint.findings`): stable across unrelated edits,
+invalidated the moment the flagged line itself changes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .findings import Finding
+
+__all__ = ["BASELINE_SCHEMA", "load_baseline", "write_baseline"]
+
+BASELINE_SCHEMA = "chiaroscuro-lint-baseline/v1"
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, dict]:
+    """Fingerprint → entry map from a baseline file.
+
+    Raises ``FileNotFoundError`` for a missing file and ``ValueError``
+    for one that isn't a baseline (wrong schema tag or shape) — the CLI
+    turns both into usage errors.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no baseline file at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != BASELINE_SCHEMA
+        or not isinstance(payload.get("findings"), list)
+    ):
+        raise ValueError(
+            f"{path}: not a {BASELINE_SCHEMA} baseline file"
+        )
+    out: dict[str, dict] = {}
+    for entry in payload["findings"]:
+        if isinstance(entry, dict) and entry.get("fingerprint"):
+            out[str(entry["fingerprint"])] = entry
+    return out
+
+
+def write_baseline(
+    path: str | pathlib.Path, findings: list[Finding]
+) -> int:
+    """Snapshot ``findings`` (the would-fail set) as the new baseline.
+
+    Suppressed findings stay out — they are already justified inline.
+    Entries are sorted by (rule, path, snippet) so the file diffs
+    cleanly.  Returns the number of entries written.
+    """
+    entries = sorted(
+        (
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "snippet": f.snippet,
+            }
+            for f in findings
+            if f.status != "suppressed"
+        ),
+        key=lambda e: (e["rule"], e["path"], e["snippet"]),
+    )
+    payload = {"schema": BASELINE_SCHEMA, "findings": entries}
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)

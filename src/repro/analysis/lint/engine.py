@@ -1,0 +1,146 @@
+"""Drive the registered rules over a project and classify the findings.
+
+The engine owns the finding lifecycle:
+
+1. parse every file once (:class:`~repro.analysis.lint.model.Project`);
+2. run each selected rule over the shared model;
+3. mark findings covered by an inline ``# repro-lint: allow=`` comment
+   as ``suppressed`` (justification attached);
+4. mark findings whose fingerprint appears in the baseline as
+   ``baselined``;
+5. everything else is ``new`` — the set that fails the build.
+
+Malformed suppression comments (no ``-- justification``) are reported
+under the reserved rule id ``suppression``: an unexplained waiver is
+itself a violation, so the justification requirement is machine-enforced
+like every other contract here.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, replace
+
+from .findings import Finding, fingerprint_findings, relative_path
+from .model import Project
+from .registry import RULES
+
+__all__ = ["LintReport", "run_lint"]
+
+#: Reserved rule id for malformed suppression comments.
+SUPPRESSION_RULE = "suppression"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-classified."""
+
+    findings: list[Finding]  # every finding, status assigned
+    files: int
+    rules: list[str]  # rule keys that ran
+
+    @property
+    def new(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == "new"]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == "suppressed"]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [f for f in self.findings if f.status == "baselined"]
+
+    def by_rule(self) -> dict[str, dict[str, int]]:
+        out: dict[str, dict[str, int]] = {}
+        for finding in self.findings:
+            bucket = out.setdefault(
+                finding.rule, {"new": 0, "suppressed": 0, "baselined": 0}
+            )
+            bucket[finding.status] += 1
+        return out
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+
+def run_lint(
+    paths: list[str | pathlib.Path],
+    rules: list[str] | None = None,
+    baseline: dict[str, dict] | None = None,
+) -> LintReport:
+    """Lint ``paths`` with ``rules`` (default: all registered).
+
+    Raises ``FileNotFoundError`` for a missing path and ``KeyError`` for
+    an unknown rule key — the CLI maps both to exit code 2.
+    """
+    selected = list(rules) if rules is not None else RULES.keys()
+    instances = [RULES.get(key) for key in selected]
+    project = Project.load([pathlib.Path(p) for p in paths])
+
+    findings: list[Finding] = []
+    for rule in instances:
+        findings.extend(rule.check(project))
+    findings.extend(_suppression_findings(project))
+
+    # Anchor each finding to its source line text for the fingerprint
+    # and attach inline suppressions.
+    findings = [_classify_inline(project, f) for f in findings]
+    findings = fingerprint_findings(findings)
+    if baseline:
+        findings = [
+            replace(f, status="baselined")
+            if f.status == "new" and f.fingerprint in baseline
+            else f
+            for f in findings
+        ]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintReport(
+        findings=findings, files=len(project.modules), rules=selected
+    )
+
+
+def _suppression_findings(project: Project) -> list[Finding]:
+    out: list[Finding] = []
+    for module in project.modules:
+        for line, text in module.bad_suppressions:
+            out.append(
+                Finding(
+                    rule=SUPPRESSION_RULE,
+                    path=relative_path(module.path),
+                    line=line,
+                    message=(
+                        "suppression comment has no justification — use "
+                        "'# repro-lint: allow=<rule> -- <why this is fine>'"
+                    ),
+                    snippet=text,
+                )
+            )
+    return out
+
+
+def _classify_inline(project: Project, finding: Finding) -> Finding:
+    """Fill the snippet and apply inline suppressions to one finding."""
+    module = _module_for(project, finding.path)
+    if module is None:
+        return finding
+    snippet = finding.snippet or module.line_text(finding.line).strip()
+    finding = replace(finding, snippet=snippet)
+    if finding.rule == SUPPRESSION_RULE:
+        return finding  # the meta-rule cannot be waived by itself
+    for suppression in module.suppressions.get(finding.line, []):
+        if finding.rule in suppression.rules:
+            return replace(
+                finding,
+                status="suppressed",
+                justification=suppression.justification,
+            )
+    return finding
+
+
+def _module_for(project: Project, path: str):
+    for module in project.modules:
+        if relative_path(module.path) == path:
+            return module
+    return None

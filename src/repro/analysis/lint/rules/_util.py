@@ -1,0 +1,34 @@
+"""Small helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..model import Module, Project
+
+__all__ = ["in_packages", "iter_calls", "scoped_modules"]
+
+
+def in_packages(module: Module, prefixes: Iterable[str]) -> bool:
+    """Does ``module`` live under any of the dotted ``prefixes``?"""
+    pkg = module.package
+    return bool(pkg) and any(
+        pkg == p or pkg.startswith(p + ".") for p in prefixes
+    )
+
+
+def scoped_modules(
+    project: Project, prefixes: Iterable[str]
+) -> Iterator[Module]:
+    prefixes = tuple(prefixes)
+    for module in project.modules:
+        if in_packages(module, prefixes):
+            yield module
+
+
+def iter_calls(module: Module) -> Iterator[tuple[ast.Call, str]]:
+    """Every call in ``module`` with its alias-resolved dotted target."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            yield node, module.resolve_call(node.func)

@@ -1,0 +1,64 @@
+"""bigint-purity: all big-integer arithmetic goes through the one kernel.
+
+``repro.crypto.bigint`` is the single switchable arithmetic kernel
+(pure-python vs gmpy2), and every perf/parity claim the benchmarks make
+assumes nothing bypasses it.  A stray three-argument ``pow`` or a direct
+``gmpy2`` import elsewhere silently forks the arithmetic path: results
+stay correct, but the backend comparisons (and the gmpy2-gated CI lane)
+stop measuring what they claim to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding, relative_path
+from ..model import Project
+from ..registry import LintRule, register_rule
+
+#: The one module allowed to do modular bigint arithmetic directly.
+KERNEL = "repro.crypto.bigint"
+
+
+@register_rule("bigint-purity")
+class BigintPurity(LintRule):
+    """Three-arg pow and gmpy2 imports only inside repro.crypto.bigint."""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if not module.package.startswith("repro") or module.package == KERNEL:
+                continue
+            path = relative_path(module.path)
+            for record in module.imports:
+                if any(
+                    t == "gmpy2" or t.startswith("gmpy2.")
+                    for t in record.targets
+                ):
+                    yield Finding(
+                        rule=self.key,
+                        path=path,
+                        line=record.line,
+                        message=(
+                            f"gmpy2 imported outside {KERNEL} — backend "
+                            f"selection belongs to the kernel alone"
+                        ),
+                    )
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "pow"
+                    and len(node.args) == 3
+                ):
+                    yield Finding(
+                        rule=self.key,
+                        path=path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"three-argument pow() outside {KERNEL} — "
+                            f"call bigint.powmod so the gmpy2 backend "
+                            f"actually covers this site"
+                        ),
+                    )

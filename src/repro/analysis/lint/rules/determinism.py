@@ -1,0 +1,117 @@
+"""Determinism rules: protocol code must be replayable bit-for-bit.
+
+Chiaroscuro's whole experimental claim rests on seeded replay — a run
+spec plus a seed reproduces the exact centroid trajectory (checkpoint
+resume and the warehouse's repro reports both depend on it).  Two rules
+guard that:
+
+* ``determinism-rng`` — no unseeded or global-singleton randomness in
+  the protocol packages.  ``np.random.default_rng()`` without a seed,
+  ``random.Random()`` without a seed, and module-level singleton draws
+  (``random.random()``, ``np.random.normal(...)``) all pull entropy the
+  run spec never sees.
+* ``determinism-wall-clock`` — no wall-clock reads
+  (``time.time``, ``datetime.now``) in protocol logic.  Monotonic
+  duration clocks (``perf_counter``, ``monotonic``) are fine: they feed
+  telemetry, never control flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding, relative_path
+from ..model import Project
+from ..registry import LintRule, register_rule
+from ._util import iter_calls, scoped_modules
+
+#: Packages where randomness and clocks must be injected, never ambient.
+PROTOCOL_PACKAGES = (
+    "repro.core",
+    "repro.gossip",
+    "repro.crypto",
+    "repro.clustering",
+)
+
+#: Constructors that are deterministic only when given a seed argument.
+_SEEDED_CONSTRUCTORS = ("numpy.random.default_rng", "random.Random")
+
+#: numpy.random attributes that are NOT the legacy global singleton.
+_NUMPY_NONSINGLETON = ("default_rng", "Generator", "SeedSequence", "BitGenerator")
+
+#: Wall-clock call targets (alias-resolved dotted paths).
+_WALL_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule("determinism-rng")
+class UnseededRandomness(LintRule):
+    """No unseeded RNG constructors or global-singleton draws in protocol code."""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in scoped_modules(project, PROTOCOL_PACKAGES):
+            for node, target in iter_calls(module):
+                message = self._diagnose(node, target)
+                if message:
+                    yield Finding(
+                        rule=self.key,
+                        path=relative_path(module.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=message,
+                    )
+
+    @staticmethod
+    def _diagnose(node: ast.Call, target: str) -> str:
+        if target in _SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                return (
+                    f"unseeded {target}() — thread the run seed through "
+                    f"instead of pulling OS entropy"
+                )
+            return ""
+        if target.startswith("random.") and target.count(".") == 1:
+            return (
+                f"{target}() draws from the process-global random "
+                f"singleton — use an injected random.Random(seed)"
+            )
+        if (
+            target.startswith("numpy.random.")
+            and target.split(".")[-1] not in _NUMPY_NONSINGLETON
+        ):
+            return (
+                f"{target}() uses numpy's legacy global RNG — use an "
+                f"injected numpy.random.default_rng(seed)"
+            )
+        return ""
+
+
+@register_rule("determinism-wall-clock")
+class WallClockRead(LintRule):
+    """No wall-clock reads in protocol code (monotonic clocks are fine)."""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in scoped_modules(project, PROTOCOL_PACKAGES):
+            for node, target in iter_calls(module):
+                if target in _WALL_CLOCKS:
+                    yield Finding(
+                        rule=self.key,
+                        path=relative_path(module.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{target}() reads the wall clock inside "
+                            f"protocol code — replay would diverge; use "
+                            f"time.perf_counter for durations or take the "
+                            f"timestamp as a parameter"
+                        ),
+                    )

@@ -1,0 +1,158 @@
+"""event-wire-sync: the event dataclasses and their wire form stay in step.
+
+``repro.api.events`` defines the frozen event dataclasses and
+``event_to_dict``, their NDJSON wire form.  The two drift silently: add
+a field to ``IterationCompleted`` and forget the serializer, and the
+warehouse simply never sees it — no test fails, the column is just
+missing from every report.  This rule derives both sides from the AST:
+
+* every member of the ``RunEvent = Union[...]`` alias must have an
+  ``isinstance`` branch in ``event_to_dict``;
+* every dataclass field of a member must be read (``event.<field>``)
+  inside its branch.
+
+A field deliberately kept off the wire (heavyweight payloads live in the
+job/run records) carries an inline suppression at its declaration.
+The rule is self-contained per module, so fixtures that declare their
+own ``RunEvent``/``event_to_dict`` pair exercise it without touching the
+real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding, relative_path
+from ..model import Module, Project
+from ..registry import LintRule, register_rule
+
+_UNION_NAME = "RunEvent"
+_SERIALIZER = "event_to_dict"
+
+
+@register_rule("event-wire-sync")
+class EventWireSync(LintRule):
+    """Every RunEvent member and field must appear in event_to_dict."""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            members = _union_members(module)
+            serializer = _find_function(module, _SERIALIZER)
+            if not members or serializer is None:
+                continue
+            yield from self._check_module(module, members, serializer)
+
+    def _check_module(
+        self,
+        module: Module,
+        members: list[str],
+        serializer: ast.FunctionDef,
+    ) -> Iterable[Finding]:
+        path = relative_path(module.path)
+        branches = _isinstance_branches(serializer)
+        classes = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        for name in members:
+            cls = classes.get(name)
+            if cls is None:
+                continue  # defined elsewhere; out of this rule's reach
+            if name not in branches:
+                yield Finding(
+                    rule=self.key,
+                    path=path,
+                    line=cls.lineno,
+                    message=(
+                        f"{name} is in {_UNION_NAME} but {_SERIALIZER} "
+                        f"has no isinstance branch for it — the event "
+                        f"would crash serialization"
+                    ),
+                )
+                continue
+            read = branches[name]
+            for field_name, field_line in _dataclass_fields(cls):
+                if field_name not in read:
+                    yield Finding(
+                        rule=self.key,
+                        path=path,
+                        line=field_line,
+                        message=(
+                            f"{name}.{field_name} never read in its "
+                            f"{_SERIALIZER} branch — the field is "
+                            f"silently absent from the wire form"
+                        ),
+                    )
+
+
+def _union_members(module: Module) -> list[str]:
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == _UNION_NAME
+            and isinstance(node.value, ast.Subscript)
+        ):
+            inner = node.value.slice
+            elements = (
+                inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            )
+            return [e.id for e in elements if isinstance(e, ast.Name)]
+    return []
+
+
+def _find_function(module: Module, name: str) -> ast.FunctionDef | None:
+    for node in module.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _isinstance_branches(func: ast.FunctionDef) -> dict[str, set[str]]:
+    """Event class name → attribute names read on the event parameter."""
+    if not func.args.args:
+        return {}
+    param = func.args.args[0].arg
+    branches: dict[str, set[str]] = {}
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.If) and _isinstance_class(node.test, param)):
+            continue
+        cls_name = _isinstance_class(node.test, param)
+        read: set[str] = set()
+        for sub in node.body:
+            for inner in ast.walk(sub):
+                if (
+                    isinstance(inner, ast.Attribute)
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id == param
+                ):
+                    read.add(inner.attr)
+        branches.setdefault(cls_name, set()).update(read)
+    return branches
+
+
+def _isinstance_class(test: ast.AST, param: str) -> str:
+    if (
+        isinstance(test, ast.Call)
+        and isinstance(test.func, ast.Name)
+        and test.func.id == "isinstance"
+        and len(test.args) == 2
+        and isinstance(test.args[0], ast.Name)
+        and test.args[0].id == param
+        and isinstance(test.args[1], ast.Name)
+    ):
+        return test.args[1].id
+    return ""
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[tuple[str, int]]:
+    fields: list[tuple[str, int]] = []
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            fields.append((node.target.id, node.lineno))
+    return fields

@@ -1,0 +1,101 @@
+"""registry-hygiene: everything registered is documented and immutable.
+
+Registered components (datasets, initializers, strategies, planes,
+faults) are the public extension surface — ``repro api`` and
+``--list-rules``-style listings print their docstrings, so an
+undocumented registration is a hole in the user-facing catalogue.  And a
+registered *dataclass* is shared configuration handed to arbitrary run
+code: if it isn't ``frozen=True``, one plane can mutate what the next
+one reads.  Both contracts are structural, so both are machine-checked:
+
+* any ``def``/``class`` decorated with ``@register_*(...)`` or
+  ``@<registry>.register(...)`` must have a docstring;
+* if such a class is also decorated ``@dataclass``, it must say
+  ``frozen=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding, relative_path
+from ..model import Module, Project
+from ..registry import LintRule, register_rule
+
+
+@register_rule("registry-hygiene")
+class RegistryHygiene(LintRule):
+    """Registered components need docstrings; registered dataclasses, frozen=True."""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            path = relative_path(module.path)
+            for node in ast.walk(module.tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                key = _registration_key(node, module)
+                if key is None:
+                    continue
+                if not ast.get_docstring(node):
+                    yield Finding(
+                        rule=self.key,
+                        path=path,
+                        line=node.lineno,
+                        message=(
+                            f"registered component {node.name!r} ({key}) "
+                            f"has no docstring — registries surface it in "
+                            f"user-facing listings"
+                        ),
+                    )
+                if isinstance(node, ast.ClassDef):
+                    verdict = _dataclass_frozen(node)
+                    if verdict is False:
+                        yield Finding(
+                            rule=self.key,
+                            path=path,
+                            line=node.lineno,
+                            message=(
+                                f"registered dataclass {node.name!r} "
+                                f"({key}) is not frozen=True — registered "
+                                f"config must be immutable"
+                            ),
+                        )
+
+
+def _registration_key(node: ast.AST, module: Module) -> str | None:
+    """The registry key string if ``node`` is decorated as a registration."""
+    for decorator in getattr(node, "decorator_list", []):
+        if not isinstance(decorator, ast.Call):
+            continue
+        target = module.resolve_call(decorator.func)
+        last = target.rsplit(".", maxsplit=1)[-1]
+        if last.startswith("register"):
+            if decorator.args and isinstance(
+                decorator.args[0], ast.Constant
+            ):
+                return repr(decorator.args[0].value)
+            return target
+    return None
+
+
+def _dataclass_frozen(node: ast.ClassDef) -> bool | None:
+    """True/False for dataclasses, None when not a dataclass at all."""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Name) and decorator.id == "dataclass":
+            return False  # bare @dataclass — mutable by default
+        if isinstance(decorator, ast.Call):
+            func = decorator.func
+            name = func.id if isinstance(func, ast.Name) else getattr(
+                func, "attr", ""
+            )
+            if name == "dataclass":
+                return any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in decorator.keywords
+                )
+    return None

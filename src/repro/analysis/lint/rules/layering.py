@@ -1,0 +1,113 @@
+"""Layering rules: the import DAG and the fault plane's two seams.
+
+The tree is layered (see docs/ARCHITECTURE.md):
+
+* foundation — ``core``, ``gossip``, ``crypto``, ``clustering``,
+  ``privacy``, ``datasets``: the protocol itself, importable alone;
+* orchestration — ``api``, ``faults``, ``service``, ``warehouse``,
+  ``analysis``, ``cli``: everything that wraps, drives or observes it.
+
+``layering-dag`` keeps foundation code from importing upward — a single
+``from ..service import …`` in gossip would make the protocol
+unimportable without the service stack and invert the dependency story
+every doc tells.  ``TYPE_CHECKING``-gated imports are exempt (annotations
+don't execute).
+
+``fault-seams`` pins the fault plane to its two documented seams into
+protocol internals: engines are wrapped (``plan.wrap_engine`` →
+``gossip.engine`` / ``gossip.vectorized_protocol``) and outputs observed
+(``plan.observe_output`` → ``core.verification``).  Any other
+``repro.core``/``repro.gossip`` import from ``repro.faults`` couples an
+attack to internals the seams were built to hide.  Downward imports
+(crypto primitives, privacy analysis, the api contract) are the DAG's
+business, not this rule's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding, relative_path
+from ..model import Project
+from ..registry import LintRule, register_rule
+from ._util import scoped_modules
+
+FOUNDATION_PACKAGES = (
+    "repro.core",
+    "repro.gossip",
+    "repro.crypto",
+    "repro.clustering",
+    "repro.privacy",
+    "repro.datasets",
+)
+
+ORCHESTRATION_PACKAGES = (
+    "repro.api",
+    "repro.faults",
+    "repro.service",
+    "repro.warehouse",
+    "repro.analysis",
+    "repro.cli",
+)
+
+#: The documented fault-plane seams into protocol internals.
+FAULT_SEAMS = (
+    "repro.gossip.engine",
+    "repro.gossip.vectorized_protocol",
+    "repro.core.verification",
+)
+
+
+def _hits(targets: tuple[str, ...], prefixes: tuple[str, ...]) -> str:
+    for target in targets:
+        for prefix in prefixes:
+            if target == prefix or target.startswith(prefix + "."):
+                return prefix
+    return ""
+
+
+@register_rule("layering-dag")
+class LayeringDag(LintRule):
+    """Foundation packages must not import orchestration packages."""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in scoped_modules(project, FOUNDATION_PACKAGES):
+            for record in module.imports:
+                if record.type_checking:
+                    continue
+                hit = _hits(record.targets, ORCHESTRATION_PACKAGES)
+                if hit:
+                    yield Finding(
+                        rule=self.key,
+                        path=relative_path(module.path),
+                        line=record.line,
+                        message=(
+                            f"foundation module {module.package} imports "
+                            f"{hit} — the protocol layer must stay "
+                            f"importable without the orchestration stack"
+                        ),
+                    )
+
+
+@register_rule("fault-seams")
+class FaultSeams(LintRule):
+    """Faults reach protocol internals only through the documented seams."""
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in scoped_modules(project, ("repro.faults",)):
+            for record in module.imports:
+                if record.type_checking:
+                    continue
+                hit = _hits(record.targets, ("repro.core", "repro.gossip"))
+                if hit and not _hits(record.targets, FAULT_SEAMS):
+                    yield Finding(
+                        rule=self.key,
+                        path=relative_path(module.path),
+                        line=record.line,
+                        message=(
+                            f"fault module imports protocol internals "
+                            f"({', '.join(record.targets)}) outside the "
+                            f"documented seams "
+                            f"({', '.join(FAULT_SEAMS)})"
+                        ),
+                    )

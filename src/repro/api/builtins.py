@@ -121,18 +121,21 @@ def _init_matrix(dataset: TimeSeriesSet, k: int, rng, *, values) -> np.ndarray:
 
 @register_strategy("G")
 def _strategy_greedy(params, label: str) -> Greedy:
+    """Greedy: each iteration takes half the remaining budget (Sec. 5.2)."""
     del label
     return Greedy(params.epsilon)
 
 
 @register_strategy("GF")
 def _strategy_greedy_floor(params, label: str) -> GreedyFloor:
+    """Greedy with a floor: halve the remainder, never below the floor slice."""
     del label
     return GreedyFloor(params.epsilon, floor_size=params.floor_size)
 
 
 @register_strategy("UF")
 def _strategy_uniform_fast(params, label: str) -> UniformFast:
+    """Uniform-fast: split the budget evenly over a fixed iteration count."""
     n_iterations = int(label[2:]) if len(label) > 2 else params.uf_iterations
     return UniformFast(params.epsilon, n_iterations=n_iterations)
 

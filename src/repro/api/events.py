@@ -41,6 +41,7 @@ __all__ = [
 class RunStarted:
     """Emitted once, before the first iteration (or after a resume)."""
 
+    # repro-lint: allow=event-wire-sync -- heavyweight payload lives in the job record, not the wire form
     spec: "RunSpec"
     label: str  # paper-style strategy label, e.g. "G_SMA"
     dataset_name: str

@@ -40,6 +40,17 @@ then reproduce the paper's comparisons from stored runs (no re-run)::
     python -m repro report fig3 --db wh.db
     python -m repro db query "SELECT * FROM v_detector_counts" --db wh.db
     python -m repro jobs --db wh.db                          # store offline
+
+``lint``      the AST-based invariant analyzer (determinism, layering,
+ε-accounting; see docs/ARCHITECTURE.md): exit 0 clean, 1 on new
+findings, 2 on usage errors.  ``--format json`` emits the
+``chiaroscuro-lint/v1`` envelope the warehouse ingests, and
+``report lint`` plots the violation trajectory over revisions::
+
+    python -m repro lint src/repro
+    python -m repro lint src/repro --format json > lint-findings.json
+    python -m repro lint --list-rules
+    python -m repro report lint --db wh.db
 """
 
 from __future__ import annotations
@@ -237,11 +248,46 @@ def build_parser() -> argparse.ArgumentParser:
     rep_bench.add_argument("--metric", default=None, metavar="PATTERN",
                            help="only metrics matching this SQL LIKE "
                                 "pattern")
-    for rep in (rep_fig2, rep_fig3, rep_attacks, rep_latency, rep_bench):
+    rep_lint = report_sub.add_parser(
+        "lint", help="lint-finding trajectory over git revisions"
+    )
+    rep_lint.add_argument("--rule", default=None,
+                          help="only this lint rule (e.g. determinism-rng)")
+    for rep in (rep_fig2, rep_fig3, rep_attacks, rep_latency, rep_bench,
+                rep_lint):
         rep.add_argument("--db", metavar="FILE", default="warehouse.db",
                          dest="db_path")
         rep.add_argument("--format", choices=("text", "markdown"),
                          default="text", dest="fmt")
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based invariant analyzer (determinism, layering, "
+             "ε-accounting contracts)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="fmt",
+                      help="json emits the chiaroscuro-lint/v1 envelope "
+                           "the warehouse ingests")
+    lint.add_argument("--rules", default=None, metavar="RULE[,RULE...]",
+                      help="run only these rules")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      metavar="FILE",
+                      help="known-findings file; matches are reported as "
+                           "'baselined' and don't fail the run "
+                           "(default: lint-baseline.json)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline file entirely")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="snapshot current findings to --baseline and "
+                           "exit 0")
+    lint.add_argument("--verbose", action="store_true",
+                      help="text format: also show suppressed and "
+                           "baselined findings")
 
     costs = sub.add_parser("costs", help="Fig. 5 cost/bandwidth sheet")
     costs.add_argument("--key-bits", type=int, default=1024)
@@ -601,6 +647,8 @@ def _cmd_report(args, out) -> int:
             text = warehouse.report_attacks(con, fmt=args.fmt)
         elif args.report_command == "latency":
             text = warehouse.report_latency(con, fmt=args.fmt)
+        elif args.report_command == "lint":
+            text = warehouse.report_lint(con, rule=args.rule, fmt=args.fmt)
         else:  # bench
             text = warehouse.report_bench(
                 con, bench=args.bench, metric=args.metric, fmt=args.fmt
@@ -719,6 +767,58 @@ def _cmd_costs(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from .analysis.lint import (
+        RULES,
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for key in RULES:
+            print(f"{key:<24} {RULES.get(key).description}", file=out)
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            # The *default* baseline is optional; one named explicitly
+            # must exist.
+            if args.baseline != "lint-baseline.json":
+                print(f"error: no baseline file at {args.baseline}",
+                      file=out)
+                return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    try:
+        report = run_lint(args.paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: no such path: {exc}", file=out)
+        print("usage: repro lint [PATH ...] [--format text|json] "
+              "[--rules RULE,...]", file=out)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=out)
+        return 2
+    if args.write_baseline:
+        count = write_baseline(args.baseline, report.findings)
+        print(f"wrote {count} finding(s) to {args.baseline}", file=out)
+        return 0
+    if args.fmt == "json":
+        out.write(render_json(report))
+    else:
+        out.write(render_text(report, verbose=args.verbose))
+    return report.exit_code
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -742,6 +842,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "tail": _cmd_tail,
         "db": _cmd_db,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args, out)

@@ -106,7 +106,7 @@ def perturbed_em(
     lost-centroid behaviour.  Perturbation is scaled against the dataset's
     effective population (``population_scale``), like the k-means plane.
     """
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     series = dataset.values
     scale_factor = float(dataset.population_scale)
     sens = em_sensitivities(dataset.n, dataset.dmin, dataset.dmax)

@@ -188,7 +188,7 @@ def iter_perturbed_kmeans(
     carry the checkpointed state.  A resumed run draws exactly the same
     randomness as an uninterrupted one from that point on.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     options = options or PerturbationOptions()
     series_all = dataset.values
     scale_factor = float(dataset.population_scale)

@@ -74,7 +74,7 @@ def generate_keypair(
     fine for a reproduction; the paper likewise fixes one 1024-bit key).  Set
     it to ``False`` to generate fresh safe primes with ``rng``.
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random()  # repro-lint: allow=determinism-rng -- entropy fallback for ad-hoc use; protocol paths inject a seeded rng
     half = key_bits // 2
     if use_fixtures:
         try:
@@ -126,7 +126,7 @@ def encrypt(
     :func:`encrypt_zero_pool`) so bulk encryption amortizes the modexp.
     """
     if randomizer is None:
-        rng = rng or random.Random()
+        rng = rng or random.Random()  # repro-lint: allow=determinism-rng -- entropy fallback for ad-hoc use; protocol paths inject a seeded rng
         while True:
             r = rng.randrange(1, public.n)
             if gcd(r, public.n) == 1:
@@ -224,7 +224,7 @@ def encrypt_batch(
     therefore **not** comparable to this function's for the same ``rng``.
     """
     if encryptor is not None:
-        rng = rng or random.Random()
+        rng = rng or random.Random()  # repro-lint: allow=determinism-rng -- entropy fallback for ad-hoc use; protocol paths inject a seeded rng
         return encryptor.encrypt_batch(list(plaintexts), rng)
     return [encrypt(public, m, rng=rng) for m in plaintexts]
 

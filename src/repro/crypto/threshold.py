@@ -64,7 +64,7 @@ def generate_threshold_keypair(
     use_fixtures: bool = True,
 ) -> ThresholdKeypair:
     """Deal a threshold Damgård–Jurik key: ``n_shares`` shares, any ``threshold`` decrypt."""
-    rng = rng or random.Random()
+    rng = rng or random.Random()  # repro-lint: allow=determinism-rng -- entropy fallback for ad-hoc use; protocol paths inject a seeded rng
     half = key_bits // 2
     if use_fixtures:
         try:

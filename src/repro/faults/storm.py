@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+# repro-lint: allow=fault-seams -- the storm drives the same churn process the quality plane samples
 from ..gossip.churn import BurstChurnProcess
 from .base import FaultInjector, register_fault
 

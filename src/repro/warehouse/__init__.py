@@ -8,7 +8,8 @@ This package makes all of it *queryable*:
 
 * :mod:`~repro.warehouse.schema` — a versioned sqlite schema
   (``PRAGMA user_version`` migrations) of runs, iterations, events,
-  detections, jobs and bench points, plus window-function views;
+  detections, jobs, bench points and lint findings, plus
+  window-function views;
 * :mod:`~repro.warehouse.ingest` — incremental, idempotent ingestion:
   per-file byte-offset watermarks, torn-tail tolerance, stable event
   keys — re-ingesting is a no-op, tailing a live fleet is a delta;
@@ -34,6 +35,7 @@ from .analytics import (
     fig2_trajectories,
     fig3_quality,
     latency_percentiles,
+    lint_trajectory,
     run_query,
     stats,
     table_counts,
@@ -46,6 +48,7 @@ from .report import (
     report_fig2,
     report_fig3,
     report_latency,
+    report_lint,
 )
 from .schema import MIGRATIONS, connect, connect_readonly, schema_version
 
@@ -62,6 +65,7 @@ __all__ = [
     "follow_ingest",
     "ingest_paths",
     "latency_percentiles",
+    "lint_trajectory",
     "read_ndjson_from",
     "render_table",
     "report_attacks",
@@ -69,6 +73,7 @@ __all__ = [
     "report_fig2",
     "report_fig3",
     "report_latency",
+    "report_lint",
     "run_query",
     "schema_version",
     "stats",

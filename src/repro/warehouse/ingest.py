@@ -13,6 +13,10 @@ Three source shapes feed the warehouse:
   (the cross-PR perf trajectory); any embedded ``chiaroscuro-run/v1``
   runs → ``runs``/``iterations``; any ``summary`` detection aggregates →
   ``detections``.
+* **lint reports** (``repro lint --format json``,
+  ``chiaroscuro-lint/v1``): one ``lint_findings`` row per finding, keyed
+  by the report's provenance plus the finding's content fingerprint —
+  the structural-quality trajectory next to the perf one.
 
 Ingestion is a *delta*, never a rescan (the Berkholz-style discipline of
 answering under updates): each NDJSON source keeps a byte-offset
@@ -51,6 +55,7 @@ TABLES = (
     "events",
     "detections",
     "bench_points",
+    "lint_findings",
     "ingest_files",
 )
 
@@ -153,10 +158,13 @@ class Ingester:
                 if self._is_run_record(child):
                     self.ingest_run_record_file(child)
                     found = True
+                elif self._is_lint(child):
+                    self.ingest_lint_file(child)
+                    found = True
             if not found:
                 raise ValueError(
                     f"{path}: not a service root (no jobs/) and no "
-                    f"BENCH_*.json or run-record files inside"
+                    f"BENCH_*.json, run-record or lint-report files inside"
                 )
             return
         if not path.exists():
@@ -167,11 +175,13 @@ class Ingester:
             self.ingest_bench_file(path)
         elif self._is_run_record(path):
             self.ingest_run_record_file(path)
+        elif self._is_lint(path):
+            self.ingest_lint_file(path)
         else:
             raise ValueError(
                 f"{path}: unrecognized telemetry file (expected a service "
-                f"root, *.ndjson log, BENCH_*.json, or chiaroscuro-run/v1 "
-                f"record)"
+                f"root, *.ndjson log, BENCH_*.json, chiaroscuro-run/v1 "
+                f"record, or chiaroscuro-lint/v1 report)"
             )
 
     @staticmethod
@@ -187,6 +197,9 @@ class Ingester:
 
     def _is_bench(self, path: pathlib.Path) -> bool:
         return self._peek_schema(path) == "chiaroscuro-bench/v1"
+
+    def _is_lint(self, path: pathlib.Path) -> bool:
+        return self._peek_schema(path) == "chiaroscuro-lint/v1"
 
     # ------------------------------------------------------- service roots
 
@@ -422,6 +435,55 @@ class Ingester:
                 for entry in history
             ],
         )
+
+    # ------------------------------------------------------------ lint runs
+
+    def ingest_lint_file(self, path: str | pathlib.Path) -> None:
+        path = pathlib.Path(path)
+        self._ingest_json_once(path, self._ingest_lint)
+        self.con.commit()
+
+    def _ingest_lint(self, path: pathlib.Path) -> None:
+        envelope = json.loads(path.read_text())
+        if envelope.get("schema") != "chiaroscuro-lint/v1":
+            raise ValueError(
+                f"{path}: not a chiaroscuro-lint/v1 envelope "
+                f"(schema={envelope.get('schema')!r})"
+            )
+        provenance = envelope.get("provenance", {})
+        git_rev = provenance.get("git_rev", "")
+        recorded_at = provenance.get("timestamp", "")
+        unix_time = provenance.get("unix_time")
+        if unix_time is None:
+            unix_time = _parse_iso(recorded_at)
+        # One report = one (git_rev, timestamp) identity; re-ingesting the
+        # same file (or a byte-identical copy elsewhere) lands on the same
+        # primary keys and stays a no-op.
+        report_key = f"{git_rev}@{recorded_at}"
+        for finding in envelope.get("findings", []):
+            if not isinstance(finding, dict) or not finding.get("fingerprint"):
+                continue
+            line = finding.get("line")
+            self.con.execute(
+                "INSERT OR REPLACE INTO lint_findings (report_key, "
+                "fingerprint, git_rev, recorded_at, unix_time, rule, path, "
+                "line, status, message, snippet, justification) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    report_key,
+                    str(finding["fingerprint"]),
+                    git_rev,
+                    recorded_at,
+                    unix_time,
+                    str(finding.get("rule", "")),
+                    str(finding.get("path", "")),
+                    int(line) if isinstance(line, int) else 0,
+                    str(finding.get("status", "new")),
+                    str(finding.get("message", "")),
+                    str(finding.get("snippet", "")),
+                    str(finding.get("justification", "")),
+                ),
+            )
 
     # -------------------------------------------------------------- benches
 

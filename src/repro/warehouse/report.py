@@ -20,6 +20,7 @@ __all__ = [
     "report_fig2",
     "report_fig3",
     "report_latency",
+    "report_lint",
 ]
 
 
@@ -194,6 +195,37 @@ def report_bench(
     ]
     return "\n".join(render_table(
         ["bench", "metric", "rev", "value", "prev", "delta", "points"],
+        table,
+        fmt,
+    ))
+
+
+def report_lint(
+    con: sqlite3.Connection, rule: str | None = None, fmt: str = "text"
+) -> str:
+    """Lint-finding trajectory: per-rule counts at the latest report."""
+    rows = analytics.lint_trajectory(con, rule=rule)
+    if not rows:
+        return (
+            "no lint findings ingested — ingest a "
+            "`repro lint --format json` report"
+        )
+    table = [
+        [
+            row["rule"],
+            row["git_rev"],
+            str(row["findings"]),
+            str(row["new"]),
+            str(row["suppressed"]),
+            str(row["baselined"]),
+            _fmt(row["delta"], 0),
+            str(row["points"]),
+        ]
+        for row in rows
+    ]
+    return "\n".join(render_table(
+        ["rule", "rev", "findings", "new", "suppressed", "baselined",
+         "delta", "reports"],
         table,
         fmt,
     ))

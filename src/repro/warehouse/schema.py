@@ -43,6 +43,15 @@ Views (migration 2) — the window-function analytics surface
 ``v_detector_counts``       detections per fault class per detector.
 ``v_bench_trajectory``      each bench metric over git revisions with its
                             previous value (``LAG() OVER``) for deltas.
+
+Static analysis (migration 4)
+-----------------------------
+``lint_findings``      one row per finding per ``chiaroscuro-lint/v1``
+                       report, keyed (report, fingerprint) so re-ingesting
+                       the same report is a no-op.
+``v_lint_trajectory``  per-rule finding counts over git revisions with
+                       deltas — the structural-quality ratchet, shaped
+                       like ``v_bench_trajectory``.
 """
 
 from __future__ import annotations
@@ -242,12 +251,57 @@ LEFT JOIN runs r ON r.job_id = e.job_id
 WHERE e.type = 'iteration_completed';
 """
 
+_MIGRATION_4 = """
+CREATE TABLE lint_findings (
+    report_key  TEXT NOT NULL,    -- '<git_rev>@<recorded_at>'
+    fingerprint TEXT NOT NULL,    -- content hash from the lint envelope
+    git_rev     TEXT NOT NULL,
+    recorded_at TEXT NOT NULL,
+    unix_time   REAL,
+    rule        TEXT NOT NULL,
+    path        TEXT NOT NULL,
+    line        INTEGER NOT NULL DEFAULT 0,
+    status      TEXT NOT NULL,    -- 'new' | 'suppressed' | 'baselined'
+    message     TEXT NOT NULL DEFAULT '',
+    snippet     TEXT NOT NULL DEFAULT '',
+    justification TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (report_key, fingerprint)
+);
+CREATE INDEX idx_lint_rule ON lint_findings (rule, git_rev);
+
+CREATE VIEW v_lint_trajectory AS
+SELECT
+    rule,
+    git_rev,
+    recorded_at,
+    COUNT(*) AS findings,
+    SUM(status = 'new') AS new,
+    SUM(status = 'suppressed') AS suppressed,
+    SUM(status = 'baselined') AS baselined,
+    COUNT(*) - LAG(COUNT(*)) OVER w AS delta,
+    ROW_NUMBER() OVER w AS point_index
+FROM lint_findings
+GROUP BY rule, git_rev, recorded_at
+WINDOW w AS (
+    PARTITION BY rule ORDER BY COALESCE(MIN(unix_time), 0), recorded_at
+);
+"""
+
 #: Ordered migration scripts; ``PRAGMA user_version`` counts how many of
 #: these the database has applied.  Append-only — never edit a shipped one.
 #: Migration 3 rebuilds ``v_iteration_latency`` with the per-iteration
 #: ``crypto_ms`` split the real-crypto planes report (NULL for events
 #: written before the field existed, and for planes without real crypto).
-MIGRATIONS: tuple[str, ...] = (_MIGRATION_1, _MIGRATION_2, _MIGRATION_3)
+#: Migration 4 adds the static-analysis plane: ``lint_findings`` rows from
+#: ``chiaroscuro-lint/v1`` envelopes and ``v_lint_trajectory``, the
+#: per-rule violation count over revisions (same LAG shape as
+#: ``v_bench_trajectory`` — the quality ratchet next to the perf one).
+MIGRATIONS: tuple[str, ...] = (
+    _MIGRATION_1,
+    _MIGRATION_2,
+    _MIGRATION_3,
+    _MIGRATION_4,
+)
 
 
 def schema_version(con: sqlite3.Connection) -> int:

@@ -1,0 +1,9 @@
+# repro-lint-fixture: package=repro.gossip.example
+"""Protocol code reading the wall clock (both calls are violations)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now()

@@ -1,0 +1,12 @@
+# repro-lint-fixture: package=repro.core.example
+"""Protocol code pulling ambient entropy (every line here is a violation)."""
+
+import random
+
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng()
+    fallback = random.Random()
+    return rng.normal(), fallback.random(), random.random()

@@ -1,0 +1,8 @@
+# repro-lint-fixture: package=repro.service.example
+"""Orchestration code may use ambient entropy (out of rule scope)."""
+
+import numpy as np
+
+
+def jitter():
+    return np.random.default_rng().random()

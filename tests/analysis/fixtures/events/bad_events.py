@@ -1,0 +1,29 @@
+# repro-lint-fixture: package=repro.api.example_events
+"""Wire drift: one member unhandled, one field never serialized."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Started:
+    """Run start marker."""
+
+    label: str
+    seed: int  # <- never reaches the wire form
+
+
+@dataclass(frozen=True)
+class Finished:
+    """Run end marker — no isinstance branch below."""
+
+    reason: str
+
+
+RunEvent = Union[Started, Finished]
+
+
+def event_to_dict(event: RunEvent) -> dict:
+    if isinstance(event, Started):
+        return {"type": "started", "label": event.label}
+    raise TypeError(type(event).__name__)

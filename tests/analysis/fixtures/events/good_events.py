@@ -1,0 +1,31 @@
+# repro-lint-fixture: package=repro.api.example_events
+"""Every member handled, every field on the wire."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Started:
+    """Run start marker."""
+
+    label: str
+    seed: int
+
+
+@dataclass(frozen=True)
+class Finished:
+    """Run end marker."""
+
+    reason: str
+
+
+RunEvent = Union[Started, Finished]
+
+
+def event_to_dict(event: RunEvent) -> dict:
+    if isinstance(event, Started):
+        return {"type": "started", "label": event.label, "seed": event.seed}
+    if isinstance(event, Finished):
+        return {"type": "finished", "reason": event.reason}
+    raise TypeError(type(event).__name__)

@@ -1,0 +1,20 @@
+# repro-lint-fixture: package=repro.api.example_builtins
+"""Registered components missing a docstring / frozen=True (both flagged)."""
+
+from dataclasses import dataclass
+
+from repro.api.registry import register_dataset
+from repro.faults.base import register_fault
+
+
+@register_dataset("mystery")
+def _make_mystery(params):
+    return params
+
+
+@register_fault("mutable")
+@dataclass
+class MutableFault:
+    """Documented, but mutable — registered config must be frozen."""
+
+    rate: float = 0.5

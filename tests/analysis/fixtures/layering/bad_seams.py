@@ -1,0 +1,8 @@
+# repro-lint-fixture: package=repro.faults.example
+"""A fault reaching protocol internals past the documented seams."""
+
+from repro.gossip.eesum import EESum
+
+
+def forge():
+    return EESum

@@ -1,0 +1,9 @@
+# repro-lint-fixture: package=repro.core.example
+"""A suppression with no justification: reported, and suppresses nothing."""
+
+import numpy as np
+
+
+def sample():
+    # repro-lint: allow=determinism-rng
+    return np.random.default_rng().random()

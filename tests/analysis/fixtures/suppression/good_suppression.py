@@ -1,0 +1,11 @@
+# repro-lint-fixture: package=repro.core.example
+"""Both suppression spellings: trailing comment and standalone line."""
+
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng()  # repro-lint: allow=determinism-rng -- fixture demonstrating a justified waiver
+    # repro-lint: allow=determinism-rng -- standalone comment covers the next line
+    other = np.random.default_rng()
+    return rng.random(), other.random()

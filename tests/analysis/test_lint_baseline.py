@@ -1,0 +1,105 @@
+"""Baseline round-trip and the content-based fingerprint contract."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.lint import (
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.lint.baseline import BASELINE_SCHEMA
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+BAD_RNG = FIXTURES / "determinism" / "bad_rng.py"
+
+
+class TestFingerprints:
+    def test_stable_across_line_shifts(self, tmp_path):
+        source = BAD_RNG.read_text()
+        original = tmp_path / "v1.py"
+        original.write_text(source)
+        before = run_lint([original], rules=["determinism-rng"])
+
+        shifted = tmp_path / "v1.py"
+        lines = source.splitlines()
+        # Insert blank lines after the docstring: every finding moves,
+        # no flagged line changes.
+        shifted.write_text(
+            "\n".join(lines[:3] + ["", "", ""] + lines[3:]) + "\n"
+        )
+        after = run_lint([shifted], rules=["determinism-rng"])
+
+        assert [f.fingerprint for f in before.findings] == [
+            f.fingerprint for f in after.findings
+        ]
+        assert [f.line for f in before.findings] != [
+            f.line for f in after.findings
+        ]
+
+    def test_identical_lines_get_distinct_fingerprints(self, tmp_path):
+        path = tmp_path / "twins.py"
+        path.write_text(
+            "# repro-lint-fixture: package=repro.core.example\n"
+            "import numpy as np\n"
+            "a = np.random.default_rng()\n"
+            "b = np.random.default_rng()\n"
+        )
+        report = run_lint([path], rules=["determinism-rng"])
+        prints = [f.fingerprint for f in report.findings]
+        assert len(prints) == 2
+        assert len(set(prints)) == 2
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_match_silences_findings(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        first = run_lint([BAD_RNG], rules=["determinism-rng"])
+        count = write_baseline(baseline_path, first.findings)
+        assert count == len(first.new)
+
+        baseline = load_baseline(baseline_path)
+        second = run_lint(
+            [BAD_RNG], rules=["determinism-rng"], baseline=baseline
+        )
+        assert second.new == []
+        assert len(second.baselined) == count
+        assert second.exit_code == 0
+
+    def test_baseline_file_shape(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        report = run_lint([BAD_RNG], rules=["determinism-rng"])
+        write_baseline(baseline_path, report.findings)
+        payload = json.loads(baseline_path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        for entry in payload["findings"]:
+            assert entry["fingerprint"]
+            assert entry["rule"] == "determinism-rng"
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"schema": "something-else/v9", "findings": []}')
+        with pytest.raises(ValueError, match="not a"):
+            load_baseline(path)
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_suppressed_findings_stay_out_of_baseline(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        report = run_lint(
+            [FIXTURES / "suppression" / "good_suppression.py"],
+            rules=["determinism-rng"],
+        )
+        assert write_baseline(baseline_path, report.findings) == 0

@@ -1,0 +1,44 @@
+"""The tree must satisfy its own invariants: ``repro lint src/`` is clean.
+
+This is the enforcement test behind the CI lint job — if a change to
+``src/repro`` introduces an unseeded RNG, an upward import, a wire-form
+drift or an unjustified waiver, this fails locally before CI does.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.lint import load_baseline, run_lint
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+BASELINE = REPO / "lint-baseline.json"
+
+
+def test_src_tree_lints_clean():
+    baseline = load_baseline(BASELINE) if BASELINE.exists() else None
+    report = run_lint([SRC], baseline=baseline)
+    assert report.new == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule}: {f.message}" for f in report.new
+    )
+
+
+def test_determinism_and_bigint_baselines_are_empty():
+    """Policy: the ratchet rules carry no baselined debt — violations are
+    fixed or justified inline, never parked."""
+    payload = json.loads(BASELINE.read_text())
+    parked = [
+        entry["rule"]
+        for entry in payload["findings"]
+        if entry["rule"] in (
+            "determinism-rng", "determinism-wall-clock", "bigint-purity"
+        )
+    ]
+    assert parked == []
+
+
+def test_every_inline_suppression_is_justified():
+    report = run_lint([SRC])
+    assert all(f.justification for f in report.suppressed)

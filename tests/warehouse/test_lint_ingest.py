@@ -1,0 +1,163 @@
+"""Lint reports in the warehouse: migration 4, idempotent ingest, the
+trajectory view and its report renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.warehouse import (
+    Ingester,
+    connect,
+    ingest_paths,
+    report_lint,
+    lint_trajectory,
+)
+
+
+@pytest.fixture()
+def con(tmp_path):
+    connection = connect(tmp_path / "wh.db")
+    yield connection
+    connection.close()
+
+
+def lint_envelope(git_rev: str, timestamp: str, unix_time: float,
+                  findings: list[dict]) -> dict:
+    return {
+        "schema": "chiaroscuro-lint/v1",
+        "provenance": {
+            "git_rev": git_rev,
+            "timestamp": timestamp,
+            "unix_time": unix_time,
+        },
+        "files": 10,
+        "rules": ["determinism-rng"],
+        "counts": {
+            "new": sum(f["status"] == "new" for f in findings),
+            "suppressed": sum(
+                f["status"] == "suppressed" for f in findings
+            ),
+            "baselined": sum(f["status"] == "baselined" for f in findings),
+        },
+        "findings": findings,
+    }
+
+
+def finding(fingerprint: str, status: str = "new",
+            rule: str = "determinism-rng") -> dict:
+    return {
+        "rule": rule,
+        "path": "src/repro/core/x.py",
+        "line": 7,
+        "col": 0,
+        "message": "unseeded rng",
+        "snippet": "rng = default_rng()",
+        "status": status,
+        "justification": "waived" if status == "suppressed" else "",
+        "fingerprint": fingerprint,
+    }
+
+
+def write_report(tmp_path, name: str, envelope: dict):
+    path = tmp_path / name
+    path.write_text(json.dumps(envelope))
+    return path
+
+
+class TestLintIngestion:
+    def test_findings_land_with_statuses(self, con, tmp_path):
+        path = write_report(
+            tmp_path,
+            "lint.json",
+            lint_envelope("abc1234", "2026-08-07T10:00:00Z", 1e9, [
+                finding("aa" * 8),
+                finding("bb" * 8, status="suppressed"),
+            ]),
+        )
+        delta = ingest_paths(con, [path])
+        assert delta["lint_findings"] == 2
+        statuses = {
+            row[0]
+            for row in con.execute("SELECT status FROM lint_findings")
+        }
+        assert statuses == {"new", "suppressed"}
+
+    def test_double_ingest_is_a_noop(self, con, tmp_path):
+        path = write_report(
+            tmp_path,
+            "lint.json",
+            lint_envelope("abc1234", "2026-08-07T10:00:00Z", 1e9,
+                          [finding("aa" * 8)]),
+        )
+        ingest_paths(con, [path])
+        delta = ingest_paths(con, [path])
+        assert all(count == 0 for count in delta.values()), delta
+
+    def test_rescan_without_watermark_converges(self, con, tmp_path):
+        path = write_report(
+            tmp_path,
+            "lint.json",
+            lint_envelope("abc1234", "2026-08-07T10:00:00Z", 1e9,
+                          [finding("aa" * 8)]),
+        )
+        ingest_paths(con, [path])
+        con.execute("DELETE FROM ingest_files")
+        delta = ingest_paths(con, [path])
+        assert delta["lint_findings"] == 0
+
+    def test_directory_scan_picks_up_lint_reports(self, con, tmp_path):
+        write_report(
+            tmp_path,
+            "lint-findings.json",
+            lint_envelope("abc1234", "2026-08-07T10:00:00Z", 1e9,
+                          [finding("aa" * 8)]),
+        )
+        delta = ingest_paths(con, [tmp_path])
+        assert delta["lint_findings"] == 1
+
+    def test_non_lint_schema_rejected(self, con, tmp_path):
+        path = tmp_path / "lint.json"
+        path.write_text(json.dumps({"schema": "chiaroscuro-lint/v0"}))
+        with pytest.raises(ValueError, match="unrecognized telemetry"):
+            Ingester(con).ingest_path(path)
+
+
+class TestLintTrajectory:
+    def ingest_two_reports(self, con, tmp_path):
+        first = lint_envelope("aaa1111", "2026-08-06T10:00:00Z", 1e9, [
+            finding("11" * 8),
+            finding("22" * 8),
+            finding("33" * 8),
+        ])
+        second = lint_envelope("bbb2222", "2026-08-07T10:00:00Z", 1e9 + 60, [
+            finding("11" * 8),
+            finding("44" * 8, status="suppressed"),
+        ])
+        ingest_paths(con, [write_report(tmp_path, "first.json", first)])
+        ingest_paths(con, [write_report(tmp_path, "second.json", second)])
+
+    def test_latest_point_with_delta(self, con, tmp_path):
+        self.ingest_two_reports(con, tmp_path)
+        (row,) = lint_trajectory(con)
+        assert row["rule"] == "determinism-rng"
+        assert row["git_rev"] == "bbb2222"
+        assert row["findings"] == 2
+        assert row["new"] == 1
+        assert row["suppressed"] == 1
+        assert row["delta"] == -1  # 3 findings → 2
+        assert row["points"] == 2
+
+    def test_rule_filter(self, con, tmp_path):
+        self.ingest_two_reports(con, tmp_path)
+        assert lint_trajectory(con, rule="no-such-rule") == []
+
+    def test_report_renders_table(self, con, tmp_path):
+        self.ingest_two_reports(con, tmp_path)
+        text = report_lint(con)
+        assert "determinism-rng" in text
+        assert "bbb2222" in text
+
+    def test_report_empty_warehouse_hint(self, con):
+        assert "no lint findings ingested" in report_lint(con)
